@@ -1,0 +1,77 @@
+// §IV-D ablation: parameter-space noise vs action-space noise.
+//
+// The paper's argument for parameter noise: "actions added by exploration
+// noise often violate our constraints on total number of consumers, leading
+// to invalid exploration", while perturbing the *network parameters* keeps
+// the softmax head intact, so every explored action is still a valid
+// categorical distribution. This bench trains MIRAS on MSD with each
+// exploration mode and reports (1) the would-be constraint-violation count
+// of the raw exploratory actions, and (2) the training trace.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/miras_agent.h"
+#include "workflows/msd.h"
+
+namespace miras {
+namespace {
+
+void run_mode(rl::ExplorationMode mode, const std::string& label,
+              const bench::BenchOptions& options, Table& trace_table,
+              Table& summary) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = options.seed + 2;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+
+  core::MirasConfig miras_config = core::miras_msd_fast_config();
+  miras_config.outer_iterations = options.full ? 8 : 6;
+  miras_config.ddpg.exploration = mode;
+  // Isolate the noise-mode comparison: disable the auxiliary exploration
+  // mixes so the measured actions come from the mode under test.
+  miras_config.ddpg.epsilon_random = 0.0;
+  miras_config.ddpg.epsilon_demo = 0.0;
+  miras_config.random_episode_fraction = 0.15;  // keep model coverage sane
+  miras_config.demo_episode_fraction = 0.15;
+  miras_config.seed = options.seed + 8;
+  core::MirasAgent agent(&system, miras_config);
+
+  std::cout << "training with exploration mode: " << label << "\n";
+  std::vector<double> evals;
+  for (std::size_t i = 0; i < miras_config.outer_iterations; ++i)
+    evals.push_back(agent.run_iteration().eval_aggregate_reward);
+
+  for (std::size_t i = 0; i < evals.size(); ++i)
+    trace_table.add_row({label, std::to_string(i + 1),
+                         format_double(evals[i], 1)});
+  summary.add_row(
+      {label, std::to_string(agent.ddpg().constraint_violations()),
+       format_double(evals.back(), 1),
+       format_double(*std::max_element(evals.begin(), evals.end()), 1)});
+}
+
+}  // namespace
+}  // namespace miras
+
+int main(int argc, char** argv) {
+  using namespace miras;
+  const auto options = bench::parse_options(argc, argv);
+
+  Table trace_table({"mode", "iteration", "eval_aggregate_reward"});
+  Table summary({"mode", "raw_constraint_violations", "final_eval",
+                 "best_eval"});
+  run_mode(rl::ExplorationMode::kParameterNoise, "parameter_noise", options,
+           trace_table, summary);
+  run_mode(rl::ExplorationMode::kActionNoise, "action_noise", options,
+           trace_table, summary);
+  run_mode(rl::ExplorationMode::kNone, "no_noise", options, trace_table,
+           summary);
+
+  bench::emit(trace_table, options, "Exploration-mode training traces");
+  bench::emit(summary, options, "Exploration-mode summary");
+  std::cout << "\nExpected shape (paper §IV-D): action-space noise produces\n"
+               "many raw constraint violations (floor(C*a) of the perturbed\n"
+               "weights overruns the budget) while parameter-space noise\n"
+               "produces none and converges at least as well.\n";
+  return 0;
+}

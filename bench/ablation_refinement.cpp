@@ -1,0 +1,91 @@
+// §IV-C2 ablation: Lend-Giveback model refinement on vs off.
+//
+// Two measurements:
+//  1. Model behaviour at the WIP boundary: for near-zero states, the raw
+//     network's predictions are dominated by environment randomness, while
+//     the refined predictions stay consistent with the off-boundary regime
+//     (Algorithm 1's purpose).
+//  2. End-to-end: MIRAS trained with and without refinement on MSD.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/miras_agent.h"
+#include "envmodel/refiner.h"
+#include "workflows/msd.h"
+
+namespace miras {
+namespace {
+
+void run_refinement_ablation(const bench::BenchOptions& options) {
+  Table summary({"refinement", "final_eval", "best_eval",
+                 "burst_aggregate_reward"});
+  for (const bool use_refiner : {true, false}) {
+    sim::SystemConfig config;
+    config.consumer_budget = workflows::kMsdConsumerBudget;
+    config.seed = options.seed + 13;
+    sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+
+    core::MirasConfig miras_config = core::miras_msd_fast_config();
+    miras_config.outer_iterations = options.full ? 8 : 6;
+    miras_config.use_refiner = use_refiner;
+    miras_config.seed = options.seed + 14;
+    core::MirasAgent agent(&system, miras_config);
+
+    std::cout << "training with refinement "
+              << (use_refiner ? "ON" : "OFF") << "\n";
+    std::vector<double> evals;
+    for (std::size_t i = 0; i < miras_config.outer_iterations; ++i)
+      evals.push_back(agent.run_iteration().eval_aggregate_reward);
+
+    // Boundary-behaviour probe on the final model (always fit thresholds so
+    // the refined prediction is available for comparison).
+    if (use_refiner) {
+      envmodel::ModelRefiner& refiner = agent.refiner();
+      Table probe({"state", "raw_wip0_prediction", "refined_wip0_prediction"});
+      const std::vector<int> hold(4, 3);
+      for (const double w : {0.0, 1.0, 2.0, 5.0, 20.0, 60.0}) {
+        const std::vector<double> state{w, w, w, w};
+        RunningStats raw_stats, refined_stats;
+        for (int rep = 0; rep < 20; ++rep) {
+          raw_stats.add(agent.model().predict(state, hold)[0]);
+          refined_stats.add(refiner.predict(state, hold)[0]);
+        }
+        probe.add_numeric_row({w, raw_stats.mean(), refined_stats.mean()}, 2);
+      }
+      bench::emit(probe, options,
+                  "Boundary probe: raw vs refined wip[0] prediction "
+                  "(allocation 3/3/3/3)");
+    }
+
+    // Burst evaluation of the resulting policy.
+    auto policy = agent.make_policy();
+    sim::SystemConfig eval_config = config;
+    eval_config.seed = options.seed + 15;
+    sim::MicroserviceSystem eval_system(workflows::make_msd_ensemble(),
+                                        eval_config);
+    const auto trace = core::run_scenario(
+        eval_system, *policy,
+        core::ScenarioConfig{sim::BurstSpec{{300, 200, 300}}, 40});
+
+    summary.add_row(
+        {use_refiner ? "on" : "off", format_double(evals.back(), 1),
+         format_double(*std::max_element(evals.begin(), evals.end()), 1),
+         format_double(trace.aggregate_reward(), 1)});
+  }
+  bench::emit(summary, options, "Refinement ablation summary");
+  std::cout << "\nExpected shape (paper §IV-C2): without refinement the\n"
+               "model's near-boundary outputs are erratic and the learnt\n"
+               "policy over-provisions microservices whose WIP is already\n"
+               "zero; with refinement boundary predictions stay consistent\n"
+               "and the policy evaluates at least as well.\n";
+}
+
+}  // namespace
+}  // namespace miras
+
+int main(int argc, char** argv) {
+  const auto options = miras::bench::parse_options(argc, argv);
+  miras::run_refinement_ablation(options);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared helpers for the figure-regeneration harnesses: flag parsing and
+// policy-vs-scenario sweep running. Each bench binary prints the series the
+// corresponding paper figure plots, as aligned tables (and CSV on request).
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/evaluation.h"
+#include "rl/policy.h"
+#include "sim/system.h"
+
+namespace miras::bench {
+
+/// Common command-line options for the figure benches.
+struct BenchOptions {
+  /// Paper-scale runs (11 outer iterations, full sample counts, the paper's
+  /// 3x256 / 3x512 networks) instead of the reduced default scale.
+  bool full = false;
+  /// Emit CSV instead of aligned tables.
+  bool csv = false;
+  std::uint64_t seed = 1;
+  /// Optional dataset filter for benches covering both ensembles:
+  /// "msd", "ligo", or "" (both).
+  std::string dataset;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      options.full = true;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dataset" && i + 1 < argc) {
+      options.dataset = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--full] [--csv] [--seed N] [--dataset msd|ligo]\n";
+      std::exit(0);
+    }
+  }
+  return options;
+}
+
+inline void emit(const Table& table, const BenchOptions& options,
+                 const std::string& title) {
+  std::cout << "\n## " << title << "\n";
+  if (options.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.write_aligned(std::cout);
+  }
+}
+
+/// One comparison entry: a named policy evaluated on a fresh system.
+struct PolicyEntry {
+  std::string label;
+  rl::Policy* policy;
+};
+
+/// Runs every policy through the scenario on identically-seeded fresh
+/// systems (same arrival trace), returning one trace per policy.
+template <typename MakeSystem>
+std::vector<core::EvaluationTrace> run_policies(
+    MakeSystem&& make_system, const std::vector<PolicyEntry>& policies,
+    const core::ScenarioConfig& scenario) {
+  std::vector<core::EvaluationTrace> traces;
+  for (const PolicyEntry& entry : policies) {
+    sim::MicroserviceSystem system = make_system();
+    traces.push_back(core::run_scenario(system, *entry.policy, scenario));
+    traces.back().policy_name = entry.label;
+  }
+  return traces;
+}
+
+/// Prints the per-step response-time series of several traces side by side
+/// (the layout of Figures 7 and 8).
+inline Table response_time_table(
+    const std::vector<core::EvaluationTrace>& traces) {
+  std::vector<std::string> header{"step"};
+  for (const auto& trace : traces) header.push_back(trace.policy_name);
+  Table table(header);
+  if (traces.empty()) return table;
+  const std::size_t steps = traces.front().windows.size();
+  std::vector<std::vector<double>> series;
+  series.reserve(traces.size());
+  for (const auto& trace : traces) series.push_back(trace.response_time_series());
+  for (std::size_t k = 0; k < steps; ++k) {
+    std::vector<double> row{static_cast<double>(k)};
+    for (const auto& s : series) row.push_back(s[k]);
+    table.add_numeric_row(row, 1);
+  }
+  return table;
+}
+
+/// Scalar summary per policy: aggregate reward, mean/tail response time,
+/// final WIP.
+inline Table summary_table(const std::vector<core::EvaluationTrace>& traces,
+                           std::size_t tail_windows) {
+  Table table({"policy", "aggregate_reward", "mean_rt_s", "tail_rt_s",
+               "final_total_wip"});
+  for (const auto& trace : traces) {
+    table.add_row({trace.policy_name,
+                   format_double(trace.aggregate_reward(), 1),
+                   format_double(trace.mean_response_time(), 1),
+                   format_double(trace.tail_mean_response_time(tail_windows), 1),
+                   format_double(trace.total_wip_series().back(), 1)});
+  }
+  return table;
+}
+
+}  // namespace miras::bench

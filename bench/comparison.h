@@ -1,0 +1,95 @@
+// Shared driver for the Figure 7/8 comparison benches: trains MIRAS and the
+// model-free DDPG comparator (same number of real interactions, §VI-D),
+// instantiates the DRS/HEFT/MONAD baselines, and replays every burst
+// scenario against identically-seeded systems.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/drs.h"
+#include "baselines/heft.h"
+#include "baselines/monad.h"
+#include "bench_util.h"
+#include "core/miras_agent.h"
+#include "core/trainer_config.h"
+
+namespace miras::bench {
+
+struct ComparisonSetup {
+  std::string name;
+  std::function<workflows::Ensemble()> make_ensemble;
+  int budget = 0;
+  core::MirasConfig miras_config;
+  /// (label, burst) scenarios; the paper feeds each burst at evaluation
+  /// start on top of the steady Poisson stream.
+  std::vector<std::pair<std::string, sim::BurstSpec>> bursts;
+  std::size_t steps = 40;
+};
+
+inline void run_comparison(const ComparisonSetup& setup,
+                           const BenchOptions& options) {
+  const workflows::Ensemble ensemble = setup.make_ensemble();
+
+  // --- Train MIRAS.
+  sim::SystemConfig train_config;
+  train_config.consumer_budget = setup.budget;
+  train_config.seed = options.seed + 11;
+  sim::MicroserviceSystem train_system(setup.make_ensemble(), train_config);
+  std::cout << "\n=== " << setup.name << ": training MIRAS ("
+            << setup.miras_config.outer_iterations << " iterations x "
+            << setup.miras_config.real_steps_per_iteration
+            << " real steps)\n";
+  core::MirasAgent miras(&train_system, setup.miras_config);
+  const auto traces = miras.train();
+  std::cout << "MIRAS final eval aggregated reward: "
+            << format_double(traces.back().eval_aggregate_reward, 1) << "\n";
+  auto miras_policy = miras.make_policy();
+
+  // --- Train the model-free comparator with the same real-step budget.
+  const std::size_t total_real_steps =
+      setup.miras_config.outer_iterations *
+      setup.miras_config.real_steps_per_iteration;
+  std::cout << "training model-free DDPG (same " << total_real_steps
+            << " real interactions)\n";
+  sim::SystemConfig mf_config = train_config;
+  mf_config.seed = options.seed + 12;
+  sim::MicroserviceSystem mf_system(setup.make_ensemble(), mf_config);
+  core::ModelFreeConfig model_free;
+  model_free.ddpg = setup.miras_config.ddpg;
+  model_free.total_steps = total_real_steps;
+  model_free.reset_interval = setup.miras_config.reset_interval;
+  rl::DdpgAgent mf_agent = core::train_model_free_ddpg(mf_system, model_free);
+  core::DdpgPolicy rl_policy(&mf_agent, "rl");
+
+  // --- Baselines ("stream" is the paper's label for DRS).
+  baselines::DrsPolicy drs(ensemble);
+  baselines::HeftPolicy heft(ensemble);
+  baselines::MonadPolicy monad(ensemble);
+
+  const std::vector<PolicyEntry> policies{{"miras", miras_policy.get()},
+                                          {"stream", &drs},
+                                          {"heft", &heft},
+                                          {"monad", &monad},
+                                          {"rl", &rl_policy}};
+
+  for (const auto& [label, burst] : setup.bursts) {
+    auto make_system = [&] {
+      sim::SystemConfig eval_config;
+      eval_config.consumer_budget = setup.budget;
+      eval_config.seed = options.seed + 999;  // same arrivals for everyone
+      return sim::MicroserviceSystem(setup.make_ensemble(), eval_config);
+    };
+    const auto eval_traces = run_policies(
+        make_system, policies, core::ScenarioConfig{burst, setup.steps});
+    emit(response_time_table(eval_traces), options,
+         setup.name + " " + label + " — mean response time per window (s)");
+    emit(summary_table(eval_traces, setup.steps / 4), options,
+         setup.name + " " + label + " — summary");
+  }
+}
+
+}  // namespace miras::bench

@@ -1,0 +1,29 @@
+// Figure 7: MSD performance comparison under burst workloads (§VI-D).
+//
+// Bursts fed at evaluation start (on top of the Poisson stream):
+//   (a) 300/200/300, (b) 1000/300/400, (c) 500/500/500 requests for
+// workflow Type1..Type3. Policies: MIRAS, DRS ("stream"), HEFT-adapted,
+// MONAD, and model-free DDPG ("rl") trained with the same number of real
+// interactions. The paper's headline: MIRAS is better than or at least as
+// good as the others, especially in long-term returns.
+#include "comparison.h"
+#include "workflows/msd.h"
+
+int main(int argc, char** argv) {
+  using namespace miras;
+  const auto options = bench::parse_options(argc, argv);
+
+  bench::ComparisonSetup setup;
+  setup.name = "Figure 7 (MSD)";
+  setup.make_ensemble = [] { return workflows::make_msd_ensemble(); };
+  setup.budget = workflows::kMsdConsumerBudget;
+  setup.miras_config =
+      options.full ? core::miras_msd_config() : core::miras_msd_fast_config();
+  setup.miras_config.seed = options.seed + 21;
+  setup.bursts = {{"burst (300,200,300)", sim::BurstSpec{{300, 200, 300}}},
+                  {"burst (1000,300,400)", sim::BurstSpec{{1000, 300, 400}}},
+                  {"burst (500,500,500)", sim::BurstSpec{{500, 500, 500}}}};
+  setup.steps = 40;
+  bench::run_comparison(setup, options);
+  return 0;
+}

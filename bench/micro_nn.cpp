@@ -1,0 +1,95 @@
+// Microbenchmarks of the neural-network substrate (google-benchmark):
+// matmul, forward/backward passes at the paper's network sizes, optimiser
+// steps, and one full DDPG update.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+#include "rl/ddpg.h"
+
+namespace miras {
+namespace {
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n), b(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+nn::Network make_mlp(std::size_t width, std::size_t in, std::size_t out,
+                     Rng& rng) {
+  nn::MlpSpec spec;
+  spec.input_dim = in;
+  spec.hidden_dims = {width, width, width};
+  spec.output_dim = out;
+  return nn::Network(spec, rng);
+}
+
+void BM_ActorForward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Network net = make_mlp(width, 4, 4, rng);
+  nn::Tensor batch(64, 4, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(net.predict(batch));
+}
+BENCHMARK(BM_ActorForward)->Arg(64)->Arg(256);  // 256 = paper's MSD actor
+
+void BM_ActorForwardBackward(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  nn::Network net = make_mlp(width, 4, 4, rng);
+  nn::Tensor batch(64, 4, 0.5);
+  nn::Tensor target(64, 4, 0.25);
+  for (auto _ : state) {
+    net.zero_grad();
+    const nn::Tensor out = net.forward(batch);
+    const nn::LossResult loss = nn::mse_loss(out, target);
+    benchmark::DoNotOptimize(net.backward(loss.grad));
+  }
+}
+BENCHMARK(BM_ActorForwardBackward)->Arg(64)->Arg(256);
+
+void BM_AdamStep(benchmark::State& state) {
+  Rng rng(4);
+  nn::Network net = make_mlp(256, 4, 4, rng);
+  nn::Tensor batch(64, 4, 0.5);
+  nn::Tensor target(64, 4, 0.25);
+  net.zero_grad();
+  net.backward(nn::mse_loss(net.forward(batch), target).grad);
+  nn::AdamOptimizer adam(1e-3);
+  for (auto _ : state) adam.step(net.layers());
+}
+BENCHMARK(BM_AdamStep);
+
+void BM_DdpgUpdate(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  rl::DdpgConfig config;
+  config.actor_hidden = {width, width, width};
+  config.critic_hidden = {width, width, width};
+  config.batch_size = 64;
+  config.warmup = 64;
+  rl::DdpgAgent agent(4, 4, 14, config);
+  Rng rng(5);
+  for (int i = 0; i < 256; ++i) {
+    std::vector<double> s{rng.uniform(0, 50), rng.uniform(0, 50),
+                          rng.uniform(0, 50), rng.uniform(0, 50)};
+    agent.observe(s, {0.25, 0.25, 0.25, 0.25}, rng.uniform(-5, 0), s);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(agent.update(1));
+}
+BENCHMARK(BM_DdpgUpdate)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace miras
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Microbenchmarks of the discrete-event emulator (google-benchmark):
+// window-step throughput for MSD and LIGO under steady and burst load, and
+// raw event-queue operations.
+#include <benchmark/benchmark.h>
+
+#include "sim/system.h"
+#include "workflows/ligo.h"
+#include "workflows/msd.h"
+
+namespace miras {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue events;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      events.schedule(static_cast<double>(i % 97), [&counter] { ++counter; });
+    events.run_until(100.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_MsdWindowStep(benchmark::State& state) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = 1;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+  system.reset();
+  const std::vector<int> allocation{4, 4, 3, 3};
+  for (auto _ : state) benchmark::DoNotOptimize(system.step(allocation));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MsdWindowStep);
+
+void BM_LigoWindowStep(benchmark::State& state) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kLigoConsumerBudget;
+  config.seed = 1;
+  sim::MicroserviceSystem system(workflows::make_ligo_ensemble(), config);
+  system.reset();
+  const std::vector<int> allocation{4, 3, 4, 3, 3, 3, 4, 3, 3};
+  for (auto _ : state) benchmark::DoNotOptimize(system.step(allocation));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LigoWindowStep);
+
+void BM_MsdBurstDrain(benchmark::State& state) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = 1;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+  const std::vector<int> allocation{4, 4, 3, 3};
+  for (auto _ : state) {
+    state.PauseTiming();
+    system.reset();
+    system.inject_burst(sim::BurstSpec{{100, 100, 100}});
+    state.ResumeTiming();
+    for (int k = 0; k < 10; ++k)
+      benchmark::DoNotOptimize(system.step(allocation));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_MsdBurstDrain);
+
+void BM_SystemReset(benchmark::State& state) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kLigoConsumerBudget;
+  config.seed = 1;
+  sim::MicroserviceSystem system(workflows::make_ligo_ensemble(), config);
+  const std::vector<int> allocation(9, 3);
+  for (auto _ : state) {
+    for (int k = 0; k < 3; ++k) (void)system.step(allocation);
+    benchmark::DoNotOptimize(system.reset());
+  }
+}
+BENCHMARK(BM_SystemReset);
+
+}  // namespace
+}  // namespace miras
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+#include "baselines/heft.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "rl/action.h"
+
+namespace miras::baselines {
+
+std::vector<double> HeftPolicy::upward_ranks(
+    const workflows::WorkflowGraph& graph,
+    const workflows::Ensemble& ensemble) {
+  const auto order = graph.topological_order();
+  std::vector<double> rank(graph.num_nodes(), 0.0);
+  // Walk the topological order backwards: rank(n) = service_mean(n) +
+  // max over successors of rank(succ).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t n = *it;
+    double best_successor = 0.0;
+    for (const std::size_t s : graph.successors(n))
+      best_successor = std::max(best_successor, rank[s]);
+    rank[n] = ensemble.task_type(graph.task_type_of(n)).service_time.mean() +
+              best_successor;
+  }
+  return rank;
+}
+
+HeftPolicy::HeftPolicy(const workflows::Ensemble& ensemble) {
+  priorities_.assign(ensemble.num_task_types(), 0.0);
+  std::vector<double> weight_sum(ensemble.num_task_types(), 0.0);
+  for (std::size_t w = 0; w < ensemble.num_workflows(); ++w) {
+    const auto& graph = ensemble.workflow(w);
+    const auto ranks = upward_ranks(graph, ensemble);
+    // Weight each occurrence by how often its workflow arrives; fall back
+    // to equal weights when the ensemble has no steady streams.
+    const double weight = std::max(ensemble.arrival_rate(w), 1e-9);
+    for (std::size_t n = 0; n < graph.num_nodes(); ++n) {
+      const std::size_t j = graph.task_type_of(n);
+      priorities_[j] += weight * ranks[n];
+      weight_sum[j] += weight;
+    }
+  }
+  for (std::size_t j = 0; j < priorities_.size(); ++j)
+    if (weight_sum[j] > 0.0) priorities_[j] /= weight_sum[j];
+}
+
+std::vector<int> HeftPolicy::decide(const sim::WindowStats& last_window,
+                                    int budget) {
+  MIRAS_EXPECTS(last_window.wip.size() == priorities_.size());
+  std::vector<double> weights(priorities_.size());
+  double total = 0.0;
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    weights[j] = last_window.wip[j] * priorities_[j];
+    total += weights[j];
+  }
+  if (total <= 0.0) {
+    // Idle system: stage consumers by pure priority so upcoming work meets
+    // warm capacity.
+    weights = priorities_;
+  }
+  return rl::allocation_from_weights(weights, budget,
+                                     rl::RoundingMode::kLargestRemainder);
+}
+
+}  // namespace miras::baselines

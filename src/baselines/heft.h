@@ -1,0 +1,37 @@
+// HEFT-adapted baseline (§VI-D, after Yu, Buyya & Ramamohanarao 2008).
+//
+// Classic HEFT schedules individual task instances onto machines by upward
+// rank (critical-path-to-exit priority). The paper adapts it to window-
+// granular *allocation*: tasks get HEFT priorities, and each window the
+// consumer budget is divided in proportion to (work-in-progress x
+// priority). Upward ranks are computed per workflow DAG from mean service
+// times and aggregated per task type, weighted by workflow arrival rates.
+#pragma once
+
+#include <vector>
+
+#include "rl/policy.h"
+#include "workflows/ensemble.h"
+
+namespace miras::baselines {
+
+class HeftPolicy final : public rl::Policy {
+ public:
+  explicit HeftPolicy(const workflows::Ensemble& ensemble);
+
+  std::string name() const override { return "heft"; }
+  std::vector<int> decide(const sim::WindowStats& last_window,
+                          int budget) override;
+
+  /// Aggregated priority of each task type (exposed for tests).
+  const std::vector<double>& priorities() const { return priorities_; }
+
+  /// Upward ranks of one workflow's nodes (exposed for tests).
+  static std::vector<double> upward_ranks(const workflows::WorkflowGraph& graph,
+                                          const workflows::Ensemble& ensemble);
+
+ private:
+  std::vector<double> priorities_;  // per task type
+};
+
+}  // namespace miras::baselines

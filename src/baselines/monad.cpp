@@ -1,0 +1,68 @@
+#include "baselines/monad.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace miras::baselines {
+
+MonadPolicy::MonadPolicy(const workflows::Ensemble& ensemble,
+                         MonadConfig config)
+    : config_(config) {
+  MIRAS_EXPECTS(config_.window_length > 0.0);
+  for (std::size_t j = 0; j < ensemble.num_task_types(); ++j)
+    service_means_.push_back(ensemble.task_type(j).service_time.mean());
+  begin_episode();
+}
+
+void MonadPolicy::begin_episode() {
+  predicted_arrivals_.assign(service_means_.size(), Ewma(config_.ewma_alpha));
+}
+
+double MonadPolicy::drain_per_consumer(std::size_t j) const {
+  MIRAS_EXPECTS(j < service_means_.size());
+  return config_.window_length / service_means_[j];
+}
+
+std::vector<int> MonadPolicy::decide(const sim::WindowStats& last_window,
+                                     int budget) {
+  const std::size_t j_count = service_means_.size();
+  MIRAS_EXPECTS(last_window.wip.size() == j_count);
+  if (last_window.task_arrivals.size() == j_count) {
+    for (std::size_t j = 0; j < j_count; ++j)
+      predicted_arrivals_[j].add(
+          static_cast<double>(last_window.task_arrivals[j]));
+  }
+
+  // Predicted demand this window: current backlog + predicted arrivals.
+  std::vector<double> demand(j_count);
+  for (std::size_t j = 0; j < j_count; ++j) {
+    const double arrivals =
+        predicted_arrivals_[j].empty() ? 0.0 : predicted_arrivals_[j].value();
+    demand[j] = last_window.wip[j] + arrivals;
+  }
+
+  // One-step MPC: hand each consumer to the type with the largest marginal
+  // reduction of predicted end-of-window WIP. The marginal gain of the
+  // (m+1)-th consumer is min(remaining demand, drain capacity).
+  std::vector<int> allocation(j_count, 0);
+  std::vector<double> remaining = demand;
+  for (int consumer = 0; consumer < budget; ++consumer) {
+    double best_gain = 0.0;
+    std::size_t best_j = j_count;
+    for (std::size_t j = 0; j < j_count; ++j) {
+      const double gain = std::min(remaining[j], drain_per_consumer(j));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_j = j;
+      }
+    }
+    if (best_j == j_count) break;  // nothing left to drain this window
+    ++allocation[best_j];
+    remaining[best_j] =
+        std::max(0.0, remaining[best_j] - drain_per_consumer(best_j));
+  }
+  return allocation;
+}
+
+}  // namespace miras::baselines

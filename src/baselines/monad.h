@@ -1,0 +1,45 @@
+// MONAD baseline (Nguyen & Nahrstedt, ICAC 2017): model-predictive-control
+// resource allocation for microservice infrastructures.
+//
+// MONAD identifies a per-microservice performance model online and each
+// window picks the allocation minimising the *predicted next-window* WIP —
+// a one-step horizon. This captures the property the paper's evaluation
+// exercises (§VI-D): an accurate short-term model without long-term credit
+// assignment ("MONAD focuses on short-term returns and is not suitable to
+// yield a global optimal solution"). In particular it ignores the tasks
+// that upstream completions will publish downstream later.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "rl/policy.h"
+#include "workflows/ensemble.h"
+
+namespace miras::baselines {
+
+struct MonadConfig {
+  /// Fast EWMA for next-window arrival prediction.
+  double ewma_alpha = 0.5;
+  double window_length = 30.0;
+};
+
+class MonadPolicy final : public rl::Policy {
+ public:
+  MonadPolicy(const workflows::Ensemble& ensemble, MonadConfig config = {});
+
+  std::string name() const override { return "monad"; }
+  void begin_episode() override;
+  std::vector<int> decide(const sim::WindowStats& last_window,
+                          int budget) override;
+
+  /// Predicted requests one consumer of type j drains per window.
+  double drain_per_consumer(std::size_t j) const;
+
+ private:
+  MonadConfig config_;
+  std::vector<double> service_means_;
+  std::vector<Ewma> predicted_arrivals_;  // per window, per task type
+};
+
+}  // namespace miras::baselines

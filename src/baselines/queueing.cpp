@@ -1,0 +1,41 @@
+#include "baselines/queueing.h"
+
+#include "common/contracts.h"
+
+namespace miras::baselines {
+
+bool mmc_stable(double lambda, double mu, std::size_t c) {
+  return lambda < static_cast<double>(c) * mu;
+}
+
+double erlang_c_wait_probability(double lambda, double mu, std::size_t c) {
+  MIRAS_EXPECTS(lambda >= 0.0);
+  MIRAS_EXPECTS(mu > 0.0);
+  MIRAS_EXPECTS(c >= 1);
+  MIRAS_EXPECTS(mmc_stable(lambda, mu, c));
+  if (lambda == 0.0) return 0.0;
+  const double a = lambda / mu;  // offered load in Erlangs
+  const double rho = a / static_cast<double>(c);
+  // term_k = a^k / k!, built iteratively for numerical stability.
+  double term = 1.0;
+  double sum = 1.0;  // k = 0
+  for (std::size_t k = 1; k < c; ++k) {
+    term *= a / static_cast<double>(k);
+    sum += term;
+  }
+  const double term_c = term * a / static_cast<double>(c);
+  const double numerator = term_c / (1.0 - rho);
+  return numerator / (sum + numerator);
+}
+
+double mmc_expected_in_system(double lambda, double mu, std::size_t c) {
+  MIRAS_EXPECTS(mmc_stable(lambda, mu, c));
+  if (lambda == 0.0) return 0.0;
+  const double a = lambda / mu;
+  const double rho = a / static_cast<double>(c);
+  const double wait_prob = erlang_c_wait_probability(lambda, mu, c);
+  const double queue_length = wait_prob * rho / (1.0 - rho);
+  return queue_length + a;
+}
+
+}  // namespace miras::baselines

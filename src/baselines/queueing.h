@@ -1,0 +1,21 @@
+// M/M/c queueing formulas (Erlang-C) used by the DRS baseline's Jackson
+// open-queueing-network allocation model.
+#pragma once
+
+#include <cstddef>
+
+namespace miras::baselines {
+
+/// Erlang-C probability that an arriving request must wait, for an M/M/c
+/// queue with arrival rate `lambda`, per-server service rate `mu`, and `c`
+/// servers. Requires stability (lambda < c * mu) and c >= 1.
+double erlang_c_wait_probability(double lambda, double mu, std::size_t c);
+
+/// Expected number of requests in the system (queue + in service) for a
+/// stable M/M/c queue: L = Lq + lambda/mu.
+double mmc_expected_in_system(double lambda, double mu, std::size_t c);
+
+/// True iff the queue is stable: lambda < c * mu.
+bool mmc_stable(double lambda, double mu, std::size_t c);
+
+}  // namespace miras::baselines

@@ -1,0 +1,46 @@
+// Lightweight Expects/Ensures-style contract checks (C++ Core Guidelines I.5,
+// I.7). Violations throw so that tests can assert on them and long-running
+// experiments fail loudly instead of corrupting results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace miras {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace miras
+
+#define MIRAS_EXPECTS(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::miras::detail::contract_fail("precondition", #cond, __FILE__,      \
+                                     __LINE__);                            \
+  } while (false)
+
+#define MIRAS_ENSURES(cond)                                                \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::miras::detail::contract_fail("postcondition", #cond, __FILE__,     \
+                                     __LINE__);                            \
+  } while (false)
+
+#define MIRAS_ASSERT(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::miras::detail::contract_fail("invariant", #cond, __FILE__,         \
+                                     __LINE__);                            \
+  } while (false)

@@ -1,0 +1,45 @@
+// Minimal CSV/aligned-table writer used by the benchmark harnesses to emit
+// the series each paper figure plots, in a form that is both human-readable
+// and trivially machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace miras {
+
+/// Column-oriented table: set a header, append rows, render as CSV or as an
+/// aligned text table. Cells are stored as strings; numeric helpers format
+/// with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t num_columns() const { return header_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Appends a row; must have exactly num_columns() cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  void write_csv(std::ostream& out) const;
+
+  /// Renders as a space-aligned table for terminal output.
+  void write_aligned(std::ostream& out) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared by Table users).
+std::string format_double(double value, int precision);
+
+}  // namespace miras

@@ -1,0 +1,74 @@
+// Deterministic random number generation for the whole stack.
+//
+// Every stochastic component (simulator, workload source, NN initialisation,
+// exploration noise) draws from an explicitly passed Rng so that a single
+// seed reproduces an entire experiment bit-for-bit. The generator is
+// xoshiro256++ seeded through splitmix64, which is fast, has a 2^256-1
+// period, and is identical across platforms (unlike std::mt19937's
+// distribution implementations, which libstdc++/libc++ are free to vary).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace miras {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Deterministic xoshiro256++ generator with portable distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (portable across platforms).
+  double normal();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given rate (rate > 0). Mean is 1/rate.
+  double exponential(double rate);
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean (mean >= 0).
+  /// Uses inversion for small means and PTRS rejection for large ones.
+  std::uint64_t poisson(double mean);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for giving subsystems their own
+  /// streams without coupling their consumption orders).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  // Cached second output of Box-Muller.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace miras

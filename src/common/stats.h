@@ -1,0 +1,59 @@
+// Small statistics toolkit: running moments (Welford), percentiles,
+// exponentially weighted averages. Used by the model refiner (percentile
+// thresholds, Algorithm 1), dataset normalisation, and metric reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace miras {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average; seeds itself with the first sample.
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest sample, in (0, 1].
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return !initialized_; }
+  double value() const;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// p-th percentile (p in [0, 100]) with linear interpolation between order
+/// statistics; matches the "linear" (R-7) convention. `values` is copied.
+double percentile(std::vector<double> values, double p);
+
+/// Mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& values);
+
+/// Sum of a vector.
+double sum_of(const std::vector<double>& values);
+
+}  // namespace miras

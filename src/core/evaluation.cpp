@@ -1,0 +1,74 @@
+#include "core/evaluation.h"
+
+#include "common/contracts.h"
+#include "common/stats.h"
+
+namespace miras::core {
+
+double EvaluationTrace::aggregate_reward() const {
+  double total = 0.0;
+  for (const auto& window : windows) total += window.reward;
+  return total;
+}
+
+std::vector<double> EvaluationTrace::response_time_series() const {
+  std::vector<double> series;
+  series.reserve(windows.size());
+  double last = 0.0;
+  for (const auto& window : windows) {
+    std::size_t completed = 0;
+    for (const std::size_t c : window.completed) completed += c;
+    if (completed > 0) last = window.overall_mean_response_time;
+    series.push_back(last);
+  }
+  return series;
+}
+
+std::vector<double> EvaluationTrace::total_wip_series() const {
+  std::vector<double> series;
+  series.reserve(windows.size());
+  for (const auto& window : windows) series.push_back(sum_of(window.wip));
+  return series;
+}
+
+double EvaluationTrace::mean_response_time() const {
+  return mean_of(response_time_series());
+}
+
+double EvaluationTrace::tail_mean_response_time(std::size_t count) const {
+  const std::vector<double> series = response_time_series();
+  if (series.empty()) return 0.0;
+  const std::size_t tail = std::min(count, series.size());
+  double total = 0.0;
+  for (std::size_t i = series.size() - tail; i < series.size(); ++i)
+    total += series[i];
+  return total / static_cast<double>(tail);
+}
+
+EvaluationTrace run_scenario(sim::MicroserviceSystem& env, rl::Policy& policy,
+                             const ScenarioConfig& scenario) {
+  MIRAS_EXPECTS(scenario.steps > 0);
+  EvaluationTrace trace;
+  trace.policy_name = policy.name();
+  trace.windows.reserve(scenario.steps);
+
+  const std::vector<double> initial_state = env.reset();
+  if (!scenario.burst.counts.empty()) env.inject_burst(scenario.burst);
+
+  policy.begin_episode();
+  sim::WindowStats last_window = rl::initial_window_stats(
+      env.observe_wip(), env.ensemble().num_workflows(),
+      env.ensemble().num_task_types());
+  (void)initial_state;
+
+  for (std::size_t step = 0; step < scenario.steps; ++step) {
+    const std::vector<int> allocation =
+        policy.decide(last_window, env.consumer_budget());
+    const sim::StepResult result = env.step(allocation);
+    trace.windows.push_back(result.stats);
+    last_window = result.stats;
+  }
+  return trace;
+}
+
+}  // namespace miras::core

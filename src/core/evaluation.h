@@ -1,0 +1,51 @@
+// Evaluation harness: runs a policy on the emulated system under the
+// paper's burst scenarios (§VI-D) and records the per-window series that
+// Figures 7 and 8 plot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rl/policy.h"
+#include "sim/system.h"
+
+namespace miras::core {
+
+struct ScenarioConfig {
+  /// Requests injected at t = 0, per workflow type (empty = no burst).
+  sim::BurstSpec burst;
+  /// Control windows to run.
+  std::size_t steps = 25;
+};
+
+struct EvaluationTrace {
+  std::string policy_name;
+  std::vector<sim::WindowStats> windows;
+
+  /// Sum of per-window rewards (the paper's aggregated reward).
+  double aggregate_reward() const;
+
+  /// Overall mean response time per window (Figures 7/8 y-axis). Windows
+  /// in which nothing completed carry forward the previous value so the
+  /// series stays plottable.
+  std::vector<double> response_time_series() const;
+
+  /// Total WIP per window.
+  std::vector<double> total_wip_series() const;
+
+  /// Mean over the response_time_series (scalar summary used in
+  /// EXPERIMENTS.md).
+  double mean_response_time() const;
+
+  /// Mean response time over the tail (last `count` windows) — the "long-
+  /// term return" the paper emphasises.
+  double tail_mean_response_time(std::size_t count) const;
+};
+
+/// Resets `env`, injects the scenario's burst, then runs `policy` for
+/// scenario.steps windows.
+EvaluationTrace run_scenario(sim::MicroserviceSystem& env, rl::Policy& policy,
+                             const ScenarioConfig& scenario);
+
+}  // namespace miras::core

@@ -1,0 +1,238 @@
+#include "core/miras_agent.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/logging.h"
+#include "envmodel/synthetic_env.h"
+#include "rl/action.h"
+#include "sim/system.h"
+
+namespace miras::core {
+
+MirasAgent::MirasAgent(sim::Env* env, MirasConfig config)
+    : env_(env),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      dataset_(env->state_dim(), env->action_dim()),
+      model_(env->state_dim(), env->action_dim(), config_.model),
+      refiner_(&model_, config_.refiner),
+      agent_(env->state_dim(), env->action_dim(), env->consumer_budget(),
+             config_.ddpg) {
+  MIRAS_EXPECTS(env != nullptr);
+  MIRAS_EXPECTS(config_.rollout_length > 0);
+  MIRAS_EXPECTS(config_.reset_interval > 0);
+}
+
+std::vector<double> MirasAgent::random_simplex_weights() {
+  std::vector<double> weights(env_->action_dim());
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng_.exponential(1.0);
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+void MirasAgent::maybe_inject_collection_burst() {
+  if (config_.collection_burst_probability <= 0.0) return;
+  if (rng_.uniform() >= config_.collection_burst_probability) return;
+  auto* system = dynamic_cast<sim::MicroserviceSystem*>(env_);
+  if (system == nullptr) return;
+  sim::BurstSpec burst;
+  burst.counts.resize(system->ensemble().num_workflows());
+  for (auto& count : burst.counts)
+    count = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(config_.collection_burst_max)));
+  system->inject_burst(burst);
+}
+
+namespace {
+// Weight-to-allocation mapping shared by collection, synthetic training,
+// and the model-free trainer; mirrors DdpgAgent::act_allocation (including
+// the minReplicas-style guardrail) so behaviour and deployment match.
+std::vector<int> to_allocation(const std::vector<double>& weights, int budget,
+                               const rl::DdpgConfig& config) {
+  std::vector<int> allocation =
+      rl::allocation_from_weights(weights, budget, config.rounding);
+  if (config.min_consumers_per_type > 0 &&
+      budget >= config.min_consumers_per_type *
+                    static_cast<int>(allocation.size())) {
+    rl::enforce_minimum_allocation(allocation, config.min_consumers_per_type,
+                                   budget);
+  }
+  return allocation;
+}
+}  // namespace
+
+MirasAgent::Behavior MirasAgent::pick_behavior() {
+  const double u = rng_.uniform();
+  if (u < config_.demo_episode_fraction) return Behavior::kDemo;
+  if (u < config_.demo_episode_fraction + config_.random_episode_fraction)
+    return Behavior::kRandom;
+  return Behavior::kPolicy;
+}
+
+std::vector<double> MirasAgent::behavior_weights(
+    Behavior behavior, const std::vector<double>& state) {
+  switch (behavior) {
+    case Behavior::kRandom:
+      return random_simplex_weights();
+    case Behavior::kDemo: {
+      // WIP-proportional demonstration (+1 keeps idle queues warm; mild
+      // noise varies the demonstrations between episodes).
+      std::vector<double> weights(state.size());
+      double total = 0.0;
+      for (std::size_t j = 0; j < state.size(); ++j) {
+        weights[j] = (std::max(state[j], 0.0) + 1.0) * rng_.uniform(0.75, 1.25);
+        total += weights[j];
+      }
+      for (double& w : weights) w /= total;
+      return weights;
+    }
+    case Behavior::kPolicy:
+      return agent_.act(state, /*explore=*/true);
+  }
+  return random_simplex_weights();
+}
+
+void MirasAgent::collect_real_interactions(std::size_t steps,
+                                           bool random_actions) {
+  std::vector<double> state = env_->reset();
+  maybe_inject_collection_burst();
+  agent_.resample_exploration();
+  Behavior behavior = random_actions ? Behavior::kRandom : pick_behavior();
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::vector<double> weights = behavior_weights(behavior, state);
+    const std::vector<int> allocation =
+        to_allocation(weights, env_->consumer_budget(), config_.ddpg);
+    const sim::StepResult result = env_->step(allocation);
+
+    dataset_.add(envmodel::Transition{state, allocation, result.state,
+                                      result.reward});
+    // The policy itself trains on synthetic transitions (Algorithm 2), but
+    // its state normaliser should track the real distribution.
+    agent_.observe_state_only(state);
+    state = result.state;
+
+    if ((step + 1) % config_.reset_interval == 0 && step + 1 < steps) {
+      state = env_->reset();
+      maybe_inject_collection_burst();
+      agent_.resample_exploration();
+      behavior = random_actions ? Behavior::kRandom : pick_behavior();
+    }
+  }
+}
+
+void MirasAgent::train_policy_on_model() {
+  envmodel::SyntheticEnv synthetic(&model_,
+                                   config_.use_refiner ? &refiner_ : nullptr,
+                                   &dataset_, env_->consumer_budget(),
+                                   rng_.next_u64());
+  for (std::size_t rollout = 0;
+       rollout < config_.synthetic_rollouts_per_iteration; ++rollout) {
+    std::vector<double> state = synthetic.reset();
+    agent_.resample_exploration();
+    // Whole-rollout behaviour selection: the critic's n-step returns then
+    // reflect sustained control by the chosen behaviour, not isolated
+    // deviations inside an unrelated trajectory.
+    const Behavior behavior = pick_behavior();
+    for (std::size_t t = 0; t < config_.rollout_length; ++t) {
+      const std::vector<double> weights = behavior_weights(behavior, state);
+      const std::vector<int> allocation =
+          to_allocation(weights, env_->consumer_budget(), config_.ddpg);
+      const sim::StepResult result = synthetic.step(allocation);
+      agent_.observe(state, weights, result.reward * config_.reward_scale,
+                     result.state);
+      agent_.update(config_.updates_per_synthetic_step);
+      state = result.state;
+    }
+    agent_.end_episode();
+  }
+}
+
+double MirasAgent::evaluate_on_real(std::size_t steps) {
+  std::vector<double> state = env_->reset();
+  double aggregate = 0.0;
+  for (std::size_t step = 0; step < steps; ++step) {
+    const std::vector<int> allocation =
+        agent_.act_allocation(state, /*explore=*/false);
+    const sim::StepResult result = env_->step(allocation);
+    aggregate += result.reward;
+    state = result.state;
+  }
+  return aggregate;
+}
+
+IterationTrace MirasAgent::run_iteration() {
+  IterationTrace trace;
+  trace.iteration = ++iteration_;
+
+  const bool random_actions =
+      config_.random_first_iteration && iteration_ == 1;
+  collect_real_interactions(config_.real_steps_per_iteration, random_actions);
+  trace.dataset_size = dataset_.size();
+
+  trace.model_train_loss = model_.fit(dataset_);
+  if (config_.use_refiner) refiner_.fit_thresholds(dataset_);
+
+  train_policy_on_model();
+
+  trace.eval_aggregate_reward = evaluate_on_real(config_.eval_steps);
+  trace.parameter_noise_stddev = agent_.parameter_noise_stddev();
+  log_info("MIRAS iteration ", trace.iteration, ": |D|=", trace.dataset_size,
+           " model_loss=", trace.model_train_loss,
+           " eval_reward=", trace.eval_aggregate_reward);
+  return trace;
+}
+
+std::vector<IterationTrace> MirasAgent::train() {
+  std::vector<IterationTrace> traces;
+  traces.reserve(config_.outer_iterations);
+  for (std::size_t i = 0; i < config_.outer_iterations; ++i)
+    traces.push_back(run_iteration());
+  return traces;
+}
+
+std::unique_ptr<rl::Policy> MirasAgent::make_policy() {
+  return std::make_unique<DdpgPolicy>(&agent_, "miras");
+}
+
+rl::DdpgAgent train_model_free_ddpg(sim::Env& env,
+                                    const ModelFreeConfig& config) {
+  rl::DdpgAgent agent(env.state_dim(), env.action_dim(),
+                      env.consumer_budget(), config.ddpg);
+  std::vector<double> state = env.reset();
+  agent.resample_exploration();
+  for (std::size_t step = 0; step < config.total_steps; ++step) {
+    const std::vector<double> weights = agent.act(state, /*explore=*/true);
+    const std::vector<int> allocation =
+        to_allocation(weights, env.consumer_budget(), config.ddpg);
+    const sim::StepResult result = env.step(allocation);
+    agent.observe(state, weights, result.reward * config.reward_scale,
+                  result.state);
+    agent.update(config.updates_per_step);
+    state = result.state;
+    if ((step + 1) % config.reset_interval == 0 &&
+        step + 1 < config.total_steps) {
+      state = env.reset();
+      agent.resample_exploration();
+    }
+  }
+  agent.end_episode();
+  return agent;
+}
+
+DdpgPolicy::DdpgPolicy(rl::DdpgAgent* agent, std::string policy_name)
+    : agent_(agent), name_(std::move(policy_name)) {
+  MIRAS_EXPECTS(agent != nullptr);
+}
+
+std::vector<int> DdpgPolicy::decide(const sim::WindowStats& last_window,
+                                    int budget) {
+  MIRAS_EXPECTS(budget == agent_->consumer_budget());
+  return agent_->act_allocation(last_window.wip, /*explore=*/false);
+}
+
+}  // namespace miras::core

@@ -1,0 +1,111 @@
+// MIRAS: the iterative model-based RL procedure of Algorithm 2.
+//
+// Each outer iteration (1) collects real interactions with the environment
+// using the current (exploring) policy and appends them to the dataset D,
+// (2) refits the dynamics model on D and the refinement thresholds,
+// (3) trains the DDPG agent against synthetic rollouts of the refined
+// model, and (4) scores the resulting policy on the real environment.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/trainer_config.h"
+#include "envmodel/dataset.h"
+#include "envmodel/dynamics_model.h"
+#include "envmodel/refiner.h"
+#include "rl/ddpg.h"
+#include "rl/policy.h"
+#include "sim/env.h"
+
+namespace miras::core {
+
+/// Record of one outer iteration (one point of the Figure 6 training
+/// traces).
+struct IterationTrace {
+  std::size_t iteration = 0;
+  std::size_t dataset_size = 0;
+  /// Final-epoch training loss of the dynamics model fit (normalised units).
+  double model_train_loss = 0.0;
+  /// Aggregated (summed) reward of the greedy policy over eval_steps real
+  /// steps — the paper's Figure 6 y-axis.
+  double eval_aggregate_reward = 0.0;
+  double parameter_noise_stddev = 0.0;
+};
+
+class MirasAgent {
+ public:
+  /// `env` must outlive the agent.
+  MirasAgent(sim::Env* env, MirasConfig config);
+
+  const MirasConfig& config() const { return config_; }
+
+  /// Runs one Algorithm 2 outer iteration and returns its trace.
+  IterationTrace run_iteration();
+
+  /// Runs config.outer_iterations iterations.
+  std::vector<IterationTrace> train();
+
+  /// Greedy-policy view over the trained agent (valid while the agent
+  /// lives).
+  std::unique_ptr<rl::Policy> make_policy();
+
+  rl::DdpgAgent& ddpg() { return agent_; }
+  const envmodel::TransitionDataset& dataset() const { return dataset_; }
+  envmodel::DynamicsModel& model() { return model_; }
+  envmodel::ModelRefiner& refiner() { return refiner_; }
+  std::size_t iterations_run() const { return iteration_; }
+
+  /// Scores the current greedy policy on the real env: summed reward over
+  /// `steps` windows from a fresh reset.
+  double evaluate_on_real(std::size_t steps);
+
+ private:
+  /// Episode-level behaviour used for exploration and data collection.
+  enum class Behavior { kPolicy, kRandom, kDemo };
+
+  Behavior pick_behavior();
+  std::vector<double> behavior_weights(Behavior behavior,
+                                       const std::vector<double>& state);
+  void maybe_inject_collection_burst();
+  void collect_real_interactions(std::size_t steps, bool random_actions);
+  void train_policy_on_model();
+  std::vector<double> random_simplex_weights();
+
+  sim::Env* env_;
+  MirasConfig config_;
+  Rng rng_;
+  envmodel::TransitionDataset dataset_;
+  envmodel::DynamicsModel model_;
+  envmodel::ModelRefiner refiner_;
+  rl::DdpgAgent agent_;
+  std::size_t iteration_ = 0;
+};
+
+/// The paper's model-free comparator: the same DDPG agent trained directly
+/// against the environment with the same number of real interactions
+/// (§VI-D "to guarantee fairness"). Returns the trained agent.
+struct ModelFreeConfig {
+  rl::DdpgConfig ddpg;
+  std::size_t total_steps = 11000;
+  std::size_t reset_interval = 25;
+  std::size_t updates_per_step = 1;
+  double reward_scale = 0.01;
+};
+rl::DdpgAgent train_model_free_ddpg(sim::Env& env, const ModelFreeConfig& config);
+
+/// Greedy policy over a DDPG agent (used for MIRAS and the model-free rl
+/// baseline alike). The agent must outlive the policy.
+class DdpgPolicy final : public rl::Policy {
+ public:
+  DdpgPolicy(rl::DdpgAgent* agent, std::string policy_name);
+  std::string name() const override { return name_; }
+  std::vector<int> decide(const sim::WindowStats& last_window,
+                          int budget) override;
+
+ private:
+  rl::DdpgAgent* agent_;
+  std::string name_;
+};
+
+}  // namespace miras::core

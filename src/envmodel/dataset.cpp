@@ -1,0 +1,55 @@
+#include "envmodel/dataset.h"
+
+#include <numeric>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace miras::envmodel {
+
+TransitionDataset::TransitionDataset(std::size_t state_dim,
+                                     std::size_t action_dim)
+    : state_dim_(state_dim), action_dim_(action_dim) {
+  MIRAS_EXPECTS(state_dim > 0);
+  MIRAS_EXPECTS(action_dim > 0);
+}
+
+void TransitionDataset::add(Transition transition) {
+  MIRAS_EXPECTS(transition.state.size() == state_dim_);
+  MIRAS_EXPECTS(transition.action.size() == action_dim_);
+  MIRAS_EXPECTS(transition.next_state.size() == state_dim_);
+  transitions_.push_back(std::move(transition));
+}
+
+const Transition& TransitionDataset::operator[](std::size_t i) const {
+  MIRAS_EXPECTS(i < transitions_.size());
+  return transitions_[i];
+}
+
+std::vector<double> TransitionDataset::state_dimension(std::size_t j) const {
+  MIRAS_EXPECTS(j < state_dim_);
+  std::vector<double> values;
+  values.reserve(transitions_.size());
+  for (const auto& t : transitions_) values.push_back(t.state[j]);
+  return values;
+}
+
+std::vector<std::size_t> TransitionDataset::shuffled_indices(Rng& rng) const {
+  std::vector<std::size_t> indices(transitions_.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  rng.shuffle(indices);
+  return indices;
+}
+
+std::pair<TransitionDataset, TransitionDataset> TransitionDataset::split_tail(
+    std::size_t count) const {
+  MIRAS_EXPECTS(count <= transitions_.size());
+  TransitionDataset train(state_dim_, action_dim_);
+  TransitionDataset test(state_dim_, action_dim_);
+  const std::size_t split = transitions_.size() - count;
+  for (std::size_t i = 0; i < transitions_.size(); ++i)
+    (i < split ? train : test).add(transitions_[i]);
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace miras::envmodel

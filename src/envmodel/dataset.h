@@ -1,0 +1,51 @@
+// The transition dataset D of Algorithm 2: tuples (s(k), a(k), s(k+1))
+// collected from real interactions with the microservice workflow system.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace miras::envmodel {
+
+struct Transition {
+  std::vector<double> state;
+  std::vector<int> action;  // consumer allocation m(k)
+  std::vector<double> next_state;
+  double reward = 0.0;
+};
+
+class TransitionDataset {
+ public:
+  TransitionDataset(std::size_t state_dim, std::size_t action_dim);
+
+  std::size_t state_dim() const { return state_dim_; }
+  std::size_t action_dim() const { return action_dim_; }
+  std::size_t size() const { return transitions_.size(); }
+  bool empty() const { return transitions_.empty(); }
+
+  /// Appends one transition; dimensions must match.
+  void add(Transition transition);
+
+  const Transition& operator[](std::size_t i) const;
+
+  /// All values of state dimension j (for percentile thresholds,
+  /// Algorithm 1 initialisation).
+  std::vector<double> state_dimension(std::size_t j) const;
+
+  /// A deterministic shuffled index permutation.
+  std::vector<std::size_t> shuffled_indices(Rng& rng) const;
+
+  /// Splits off the last `count` transitions as a held-out set (paper
+  /// §VI-B uses 100 test points); returns {train, test} views by copy.
+  std::pair<TransitionDataset, TransitionDataset> split_tail(
+      std::size_t count) const;
+
+ private:
+  std::size_t state_dim_;
+  std::size_t action_dim_;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace miras::envmodel

@@ -1,0 +1,168 @@
+#include "envmodel/dynamics_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/stats.h"
+#include "nn/loss.h"
+
+namespace miras::envmodel {
+
+namespace {
+constexpr double kMinStddev = 1e-6;
+}
+
+DynamicsModel::DynamicsModel(std::size_t state_dim, std::size_t action_dim,
+                             DynamicsModelConfig config)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      optimizer_(config_.learning_rate) {
+  MIRAS_EXPECTS(state_dim > 0);
+  MIRAS_EXPECTS(action_dim > 0);
+  MIRAS_EXPECTS(config_.batch_size > 0);
+  nn::MlpSpec spec;
+  spec.input_dim = state_dim + action_dim;
+  spec.hidden_dims = config_.hidden_dims;
+  spec.output_dim = state_dim;
+  spec.hidden_activation = nn::Activation::kRelu;
+  spec.output_activation = nn::Activation::kIdentity;
+  network_ = nn::Network(spec, rng_);
+}
+
+std::vector<double> DynamicsModel::make_input(
+    const std::vector<double>& state, const std::vector<int>& action) const {
+  MIRAS_EXPECTS(state.size() == state_dim_);
+  MIRAS_EXPECTS(action.size() == action_dim_);
+  std::vector<double> input;
+  input.reserve(state_dim_ + action_dim_);
+  input.insert(input.end(), state.begin(), state.end());
+  for (const int a : action) input.push_back(static_cast<double>(a));
+  if (fitted_) {
+    for (std::size_t i = 0; i < input.size(); ++i)
+      input[i] = (input[i] - input_norm_.mean[i]) / input_norm_.stddev[i];
+  }
+  return input;
+}
+
+void DynamicsModel::compute_normalizers(const TransitionDataset& data) {
+  const std::size_t in_dim = state_dim_ + action_dim_;
+  std::vector<RunningStats> in_stats(in_dim);
+  std::vector<RunningStats> out_stats(state_dim_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Transition& t = data[i];
+    for (std::size_t j = 0; j < state_dim_; ++j) in_stats[j].add(t.state[j]);
+    for (std::size_t j = 0; j < action_dim_; ++j)
+      in_stats[state_dim_ + j].add(static_cast<double>(t.action[j]));
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      const double target = config_.predict_delta
+                                ? t.next_state[j] - t.state[j]
+                                : t.next_state[j];
+      out_stats[j].add(target);
+    }
+  }
+  auto to_normalizer = [](const std::vector<RunningStats>& stats) {
+    Normalizer norm;
+    for (const auto& s : stats) {
+      norm.mean.push_back(s.mean());
+      norm.stddev.push_back(std::max(s.stddev(), kMinStddev));
+    }
+    return norm;
+  };
+  input_norm_ = to_normalizer(in_stats);
+  output_norm_ = to_normalizer(out_stats);
+}
+
+double DynamicsModel::fit(const TransitionDataset& data) {
+  MIRAS_EXPECTS(data.state_dim() == state_dim_);
+  MIRAS_EXPECTS(data.action_dim() == action_dim_);
+  MIRAS_EXPECTS(!data.empty());
+
+  if (!fitted_) {
+    compute_normalizers(data);
+    fitted_ = true;
+  }
+
+  // Materialise the normalised design matrices once per fit().
+  const std::size_t n = data.size();
+  const std::size_t in_dim = state_dim_ + action_dim_;
+  nn::Tensor inputs(n, in_dim);
+  nn::Tensor targets(n, state_dim_);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Transition& t = data[i];
+    const std::vector<double> x = make_input(t.state, t.action);
+    inputs.set_row(i, x);
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      const double raw = config_.predict_delta ? t.next_state[j] - t.state[j]
+                                               : t.next_state[j];
+      targets(i, j) =
+          (raw - output_norm_.mean[j]) / output_norm_.stddev[j];
+    }
+  }
+
+  double final_epoch_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto order = data.shuffled_indices(rng_);
+    double epoch_loss = 0.0;
+    std::size_t num_batches = 0;
+    for (std::size_t start = 0; start < n; start += config_.batch_size) {
+      const std::size_t batch = std::min(config_.batch_size, n - start);
+      nn::Tensor batch_x(batch, in_dim);
+      nn::Tensor batch_y(batch, state_dim_);
+      for (std::size_t b = 0; b < batch; ++b) {
+        const std::size_t idx = order[start + b];
+        for (std::size_t c = 0; c < in_dim; ++c)
+          batch_x(b, c) = inputs(idx, c);
+        for (std::size_t c = 0; c < state_dim_; ++c)
+          batch_y(b, c) = targets(idx, c);
+      }
+      network_.zero_grad();
+      const nn::Tensor prediction = network_.forward(batch_x);
+      const nn::LossResult loss = nn::mse_loss(prediction, batch_y);
+      network_.backward(loss.grad);
+      nn::clip_gradients(network_.layers(), config_.grad_clip);
+      optimizer_.step(network_.layers());
+      epoch_loss += loss.value;
+      ++num_batches;
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(num_batches);
+  }
+  return final_epoch_loss;
+}
+
+double DynamicsModel::evaluate(const TransitionDataset& data) const {
+  MIRAS_EXPECTS(fitted_);
+  MIRAS_EXPECTS(!data.empty());
+  double total = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const Transition& t = data[i];
+    const std::vector<double> predicted = predict(t.state, t.action);
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      const double diff = predicted[j] - t.next_state[j];
+      total += diff * diff;
+    }
+  }
+  return total / static_cast<double>(data.size() * state_dim_);
+}
+
+std::vector<double> DynamicsModel::predict(
+    const std::vector<double>& state, const std::vector<int>& action) const {
+  MIRAS_EXPECTS(fitted_);
+  const std::vector<double> normalized =
+      network_.predict_one(make_input(state, action));
+  std::vector<double> next_state(state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j) {
+    const double raw =
+        normalized[j] * output_norm_.stddev[j] + output_norm_.mean[j];
+    next_state[j] = config_.predict_delta ? state[j] + raw : raw;
+  }
+  return next_state;
+}
+
+double DynamicsModel::reward_of(const std::vector<double>& next_state) {
+  return 1.0 - sum_of(next_state);
+}
+
+}  // namespace miras::envmodel

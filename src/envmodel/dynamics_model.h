@@ -1,0 +1,90 @@
+// Neural one-step dynamics model of the microservice environment (§IV-C1):
+// input x = (s(k) || a(k)), output the next state s(k+1). Trained by
+// minimising mean squared one-step prediction error over the collected
+// dataset D with minibatch Adam.
+//
+// Two deviations from the bare paper description, both standard practice
+// and both configurable:
+//  - predict_delta (default on): the network predicts s(k+1) - s(k) rather
+//    than s(k+1) directly (Nagabandi et al. 2017); the public predict()
+//    still returns s(k+1).
+//  - Inputs/outputs are z-normalised with statistics frozen at the first
+//    fit() so that incremental refits (Algorithm 2's outer loop) keep the
+//    parameter space consistent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "envmodel/dataset.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace miras::envmodel {
+
+struct DynamicsModelConfig {
+  /// Hidden widths. Paper: {20, 20, 20} for MSD, {20} for LIGO (§VI-A3 —
+  /// the smaller LIGO model counters overfitting).
+  std::vector<std::size_t> hidden_dims = {20, 20, 20};
+  double learning_rate = 1e-3;
+  std::size_t batch_size = 64;
+  /// Epochs per fit() call.
+  std::size_t epochs = 40;
+  bool predict_delta = true;
+  double grad_clip = 10.0;
+  std::uint64_t seed = 11;
+};
+
+class DynamicsModel {
+ public:
+  DynamicsModel(std::size_t state_dim, std::size_t action_dim,
+                DynamicsModelConfig config);
+
+  std::size_t state_dim() const { return state_dim_; }
+  std::size_t action_dim() const { return action_dim_; }
+
+  /// Trains on `data` for config.epochs epochs, continuing from the current
+  /// parameters (incremental refit). Returns the final epoch's mean training
+  /// loss. Requires data dimensions to match and data non-empty.
+  double fit(const TransitionDataset& data);
+
+  /// Mean squared one-step prediction error (in raw state units) on `data`.
+  double evaluate(const TransitionDataset& data) const;
+
+  /// Predicted next state s(k+1) for one (state, action) pair. Raw model
+  /// output — may be slightly negative near the WIP boundary; callers that
+  /// need physical states clamp (SyntheticEnv) or refine (ModelRefiner).
+  std::vector<double> predict(const std::vector<double>& state,
+                              const std::vector<int>& action) const;
+
+  /// Reward implied by a predicted next state (paper Eq. 1; "reward is
+  /// predicted in a similar way" — reward is a deterministic function of
+  /// the next state, so we derive it rather than fit a second network).
+  static double reward_of(const std::vector<double>& next_state);
+
+  bool is_fitted() const { return fitted_; }
+  const nn::Network& network() const { return network_; }
+
+ private:
+  struct Normalizer {
+    std::vector<double> mean;
+    std::vector<double> stddev;  // floored at a small epsilon
+  };
+
+  std::vector<double> make_input(const std::vector<double>& state,
+                                 const std::vector<int>& action) const;
+  void compute_normalizers(const TransitionDataset& data);
+
+  std::size_t state_dim_;
+  std::size_t action_dim_;
+  DynamicsModelConfig config_;
+  Rng rng_;
+  nn::Network network_;
+  nn::AdamOptimizer optimizer_;
+  Normalizer input_norm_;
+  Normalizer output_norm_;
+  bool fitted_ = false;
+};
+
+}  // namespace miras::envmodel

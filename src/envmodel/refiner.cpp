@@ -1,0 +1,57 @@
+#include "envmodel/refiner.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/stats.h"
+
+namespace miras::envmodel {
+
+ModelRefiner::ModelRefiner(const DynamicsModel* model, RefinerConfig config)
+    : model_(model), config_(config), rng_(config.seed) {
+  MIRAS_EXPECTS(model != nullptr);
+  MIRAS_EXPECTS(config.percentile_p > 0.0 && config.percentile_p < 50.0);
+}
+
+void ModelRefiner::fit_thresholds(const TransitionDataset& data) {
+  MIRAS_EXPECTS(data.state_dim() == model_->state_dim());
+  MIRAS_EXPECTS(!data.empty());
+  tau_.resize(data.state_dim());
+  omega_.resize(data.state_dim());
+  for (std::size_t j = 0; j < data.state_dim(); ++j) {
+    const std::vector<double> values = data.state_dimension(j);
+    tau_[j] = percentile(values, config_.percentile_p);
+    omega_[j] = percentile(values, 100.0 - config_.percentile_p);
+    // Degenerate datasets (all-equal dimension) would make the lend range
+    // empty; widen it so rho sampling stays well-defined.
+    if (omega_[j] <= tau_[j]) omega_[j] = tau_[j] + 1.0;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> ModelRefiner::predict(const std::vector<double>& state,
+                                          const std::vector<int>& action) {
+  MIRAS_EXPECTS(fitted_);
+  MIRAS_EXPECTS(state.size() == model_->state_dim());
+
+  // Plain prediction supplies the dimensions that are not at the boundary.
+  std::vector<double> result = model_->predict(state, action);
+
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    if (state[j] >= tau_[j]) continue;
+    // Lend: push dimension j away from the boundary.
+    const double rho = rng_.uniform(tau_[j], omega_[j]);
+    std::vector<double> adjusted = state;
+    adjusted[j] += rho;
+    const std::vector<double> lent_prediction =
+        model_->predict(adjusted, action);
+    // Giveback: take the lent tasks back from the j-th output only;
+    // per-dimension independence keeps the other outputs untouched.
+    result[j] = std::max(lent_prediction[j] - rho, 0.0);
+  }
+
+  for (double& value : result) value = std::max(value, 0.0);
+  return result;
+}
+
+}  // namespace miras::envmodel

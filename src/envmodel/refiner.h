@@ -1,0 +1,55 @@
+// Model refinement (paper §IV-C2, Algorithm 1): the Lend-Giveback wrapper
+// around the dynamics model.
+//
+// Near the WIP boundary (w_j ~ 0) the raw network's outputs are dominated
+// by the environment's own randomness and mislead the policy; the refiner
+// exploits the loose coupling between microservices: for each dimension j
+// whose state is below the tau_j threshold, it "lends" rho_j ~ U(tau_j,
+// omega_j) tasks to that dimension, queries the model, and takes the lent
+// tasks back from the j-th output, clamping at zero. Dimensions above their
+// threshold use the plain model prediction. Thresholds are the p- and
+// (100-p)-percentiles of each state dimension over the dataset D.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "envmodel/dataset.h"
+#include "envmodel/dynamics_model.h"
+
+namespace miras::envmodel {
+
+struct RefinerConfig {
+  /// Percentile p of Algorithm 1's initialisation.
+  double percentile_p = 20.0;
+  std::uint64_t seed = 13;
+};
+
+class ModelRefiner {
+ public:
+  /// `model` must outlive the refiner.
+  ModelRefiner(const DynamicsModel* model, RefinerConfig config);
+
+  /// Computes tau/omega thresholds from the dataset (Algorithm 1 lines 2-4).
+  void fit_thresholds(const TransitionDataset& data);
+
+  bool has_thresholds() const { return fitted_; }
+  const std::vector<double>& tau() const { return tau_; }
+  const std::vector<double>& omega() const { return omega_; }
+
+  /// Refined next-state prediction (Algorithm 1 lines 5-15). All outputs
+  /// are clamped non-negative. Requires fit_thresholds() was called.
+  std::vector<double> predict(const std::vector<double>& state,
+                              const std::vector<int>& action);
+
+ private:
+  const DynamicsModel* model_;
+  RefinerConfig config_;
+  Rng rng_;
+  std::vector<double> tau_;
+  std::vector<double> omega_;
+  bool fitted_ = false;
+};
+
+}  // namespace miras::envmodel

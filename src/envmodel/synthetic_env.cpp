@@ -1,0 +1,59 @@
+#include "envmodel/synthetic_env.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace miras::envmodel {
+
+SyntheticEnv::SyntheticEnv(DynamicsModel* model, ModelRefiner* refiner,
+                           const TransitionDataset* initial_states,
+                           int consumer_budget, std::uint64_t seed)
+    : model_(model),
+      refiner_(refiner),
+      initial_states_(initial_states),
+      consumer_budget_(consumer_budget),
+      rng_(seed) {
+  MIRAS_EXPECTS(model != nullptr);
+  MIRAS_EXPECTS(initial_states != nullptr);
+  MIRAS_EXPECTS(consumer_budget > 0);
+  state_.resize(model_->state_dim(), 0.0);
+}
+
+std::size_t SyntheticEnv::state_dim() const { return model_->state_dim(); }
+
+std::size_t SyntheticEnv::action_dim() const { return model_->action_dim(); }
+
+std::vector<double> SyntheticEnv::reset() {
+  MIRAS_EXPECTS(!initial_states_->empty());
+  const auto index = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(initial_states_->size()) - 1));
+  state_ = (*initial_states_)[index].state;
+  return state_;
+}
+
+sim::StepResult SyntheticEnv::step(const std::vector<int>& allocation) {
+  MIRAS_EXPECTS(allocation.size() == action_dim());
+  int total = 0;
+  for (const int m : allocation) {
+    MIRAS_EXPECTS(m >= 0);
+    total += m;
+  }
+  MIRAS_EXPECTS(total <= consumer_budget_);
+
+  std::vector<double> next_state =
+      refiner_ != nullptr ? refiner_->predict(state_, allocation)
+                          : model_->predict(state_, allocation);
+  for (double& w : next_state) w = std::max(w, 0.0);
+
+  sim::StepResult result;
+  result.state = next_state;
+  result.reward = DynamicsModel::reward_of(next_state);
+  result.stats.wip = next_state;
+  result.stats.reward = result.reward;
+  result.stats.allocation = allocation;
+  state_ = std::move(next_state);
+  return result;
+}
+
+}  // namespace miras::envmodel

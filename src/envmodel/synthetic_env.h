@@ -1,0 +1,46 @@
+// The learned environment exposed through the same Env interface as the
+// real system, so the DDPG agent trains against it transparently (§IV-D:
+// "letting it interact with the learnt environment model instead of the
+// actual real environment"). Episodes start from states sampled out of the
+// real-interaction dataset, which keeps synthetic rollouts anchored to the
+// state distribution the model was trained on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "envmodel/dataset.h"
+#include "envmodel/dynamics_model.h"
+#include "envmodel/refiner.h"
+#include "sim/env.h"
+
+namespace miras::envmodel {
+
+class SyntheticEnv final : public sim::Env {
+ public:
+  /// `refiner` may be null (refinement ablation); then raw model predictions
+  /// clamped at zero are used. `initial_states` supplies reset() states and
+  /// must be non-empty; all pointers must outlive the env.
+  SyntheticEnv(DynamicsModel* model, ModelRefiner* refiner,
+               const TransitionDataset* initial_states, int consumer_budget,
+               std::uint64_t seed);
+
+  std::size_t state_dim() const override;
+  std::size_t action_dim() const override;
+  int consumer_budget() const override { return consumer_budget_; }
+
+  std::vector<double> reset() override;
+  sim::StepResult step(const std::vector<int>& allocation) override;
+
+  const std::vector<double>& current_state() const { return state_; }
+
+ private:
+  DynamicsModel* model_;
+  ModelRefiner* refiner_;
+  const TransitionDataset* initial_states_;
+  int consumer_budget_;
+  Rng rng_;
+  std::vector<double> state_;
+};
+
+}  // namespace miras::envmodel

@@ -1,0 +1,100 @@
+#include "nn/activation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+std::string activation_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "softmax") return Activation::kSoftmax;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+Tensor activate(Activation a, const Tensor& pre) {
+  Tensor out = pre;
+  switch (a) {
+    case Activation::kIdentity:
+      return out;
+    case Activation::kRelu:
+      out.apply([](double x) { return x > 0.0 ? x : 0.0; });
+      return out;
+    case Activation::kTanh:
+      out.apply([](double x) { return std::tanh(x); });
+      return out;
+    case Activation::kSigmoid:
+      out.apply([](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+      return out;
+    case Activation::kSoftmax: {
+      // Row-wise, numerically stabilised by subtracting the row max.
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        double row_max = out(r, 0);
+        for (std::size_t c = 1; c < out.cols(); ++c)
+          row_max = std::max(row_max, out(r, c));
+        double denom = 0.0;
+        for (std::size_t c = 0; c < out.cols(); ++c) {
+          out(r, c) = std::exp(out(r, c) - row_max);
+          denom += out(r, c);
+        }
+        for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= denom;
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unreachable activation");
+}
+
+Tensor activation_backward(Activation a, const Tensor& pre, const Tensor& post,
+                           const Tensor& grad_post) {
+  MIRAS_EXPECTS(pre.same_shape(grad_post));
+  Tensor grad_pre(pre.rows(), pre.cols());
+  switch (a) {
+    case Activation::kIdentity:
+      return grad_post;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < pre.rows(); ++i)
+        for (std::size_t j = 0; j < pre.cols(); ++j)
+          grad_pre(i, j) = pre(i, j) > 0.0 ? grad_post(i, j) : 0.0;
+      return grad_pre;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < pre.rows(); ++i)
+        for (std::size_t j = 0; j < pre.cols(); ++j)
+          grad_pre(i, j) = (1.0 - post(i, j) * post(i, j)) * grad_post(i, j);
+      return grad_pre;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < pre.rows(); ++i)
+        for (std::size_t j = 0; j < pre.cols(); ++j)
+          grad_pre(i, j) = post(i, j) * (1.0 - post(i, j)) * grad_post(i, j);
+      return grad_pre;
+    case Activation::kSoftmax:
+      // d(pre_j) = post_j * (grad_j - sum_k grad_k post_k), row-wise.
+      for (std::size_t i = 0; i < pre.rows(); ++i) {
+        double dot = 0.0;
+        for (std::size_t k = 0; k < pre.cols(); ++k)
+          dot += grad_post(i, k) * post(i, k);
+        for (std::size_t j = 0; j < pre.cols(); ++j)
+          grad_pre(i, j) = post(i, j) * (grad_post(i, j) - dot);
+      }
+      return grad_pre;
+  }
+  throw std::logic_error("unreachable activation");
+}
+
+}  // namespace miras::nn

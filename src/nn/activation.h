@@ -1,0 +1,31 @@
+// Activation functions and their derivatives, applied batch-wise.
+//
+// Softmax is handled as a distinct case because its Jacobian is not
+// elementwise; DenseLayer special-cases it in backward().
+#pragma once
+
+#include <string>
+
+#include "nn/tensor.h"
+
+namespace miras::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid, kSoftmax };
+
+/// Human-readable name (used in serialization and error messages).
+std::string activation_name(Activation a);
+
+/// Parses the result of activation_name(); throws on unknown names.
+Activation activation_from_name(const std::string& name);
+
+/// Applies the activation to every row of `pre` (pre-activation values).
+Tensor activate(Activation a, const Tensor& pre);
+
+/// Given pre-activations `pre`, post-activations `post` = activate(a, pre),
+/// and the gradient `grad_post` of the loss w.r.t. `post`, returns the
+/// gradient w.r.t. `pre`. For softmax this computes the full row-wise
+/// Jacobian-vector product.
+Tensor activation_backward(Activation a, const Tensor& pre, const Tensor& post,
+                           const Tensor& grad_post);
+
+}  // namespace miras::nn

@@ -1,0 +1,142 @@
+#include "nn/critic_network.h"
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+CriticNetwork::CriticNetwork(const CriticSpec& spec, Rng& rng)
+    : state_dim_(spec.state_dim), action_dim_(spec.action_dim) {
+  MIRAS_EXPECTS(spec.state_dim > 0);
+  MIRAS_EXPECTS(spec.action_dim > 0);
+  MIRAS_EXPECTS(spec.hidden_dims.size() >= 2);
+  layers_.emplace_back(spec.state_dim, spec.hidden_dims[0],
+                       spec.hidden_activation, rng);
+  layers_.emplace_back(spec.hidden_dims[0] + spec.action_dim,
+                       spec.hidden_dims[1], spec.hidden_activation, rng);
+  std::size_t prev = spec.hidden_dims[1];
+  for (std::size_t i = 2; i < spec.hidden_dims.size(); ++i) {
+    layers_.emplace_back(prev, spec.hidden_dims[i], spec.hidden_activation,
+                         rng);
+    prev = spec.hidden_dims[i];
+  }
+  layers_.emplace_back(prev, 1, Activation::kIdentity, rng);
+}
+
+CriticNetwork::CriticNetwork(std::vector<DenseLayer> layers)
+    : layers_(std::move(layers)) {
+  MIRAS_EXPECTS(layers_.size() >= 3);
+  MIRAS_EXPECTS(layers_[1].in_dim() > layers_[0].out_dim());
+  state_dim_ = layers_[0].in_dim();
+  action_dim_ = layers_[1].in_dim() - layers_[0].out_dim();
+  for (std::size_t l = 2; l < layers_.size(); ++l)
+    MIRAS_EXPECTS(layers_[l].in_dim() == layers_[l - 1].out_dim());
+  MIRAS_EXPECTS(layers_.back().out_dim() == 1);
+}
+
+Tensor CriticNetwork::concat_cols(const Tensor& a, const Tensor& b) {
+  MIRAS_EXPECTS(a.rows() == b.rows());
+  Tensor out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+Tensor CriticNetwork::forward(const Tensor& states, const Tensor& actions) {
+  MIRAS_EXPECTS(states.cols() == state_dim_);
+  MIRAS_EXPECTS(actions.cols() == action_dim_);
+  Tensor h = layers_[0].forward(states);
+  h = layers_[1].forward(concat_cols(h, actions));
+  for (std::size_t l = 2; l < layers_.size(); ++l) h = layers_[l].forward(h);
+  return h;
+}
+
+Tensor CriticNetwork::predict(const Tensor& states,
+                              const Tensor& actions) const {
+  MIRAS_EXPECTS(states.cols() == state_dim_);
+  MIRAS_EXPECTS(actions.cols() == action_dim_);
+  Tensor h = layers_[0].forward_const(states);
+  h = layers_[1].forward_const(concat_cols(h, actions));
+  for (std::size_t l = 2; l < layers_.size(); ++l)
+    h = layers_[l].forward_const(h);
+  return h;
+}
+
+double CriticNetwork::predict_one(const std::vector<double>& state,
+                                  const std::vector<double>& action) const {
+  return predict(Tensor::row_vector(state), Tensor::row_vector(action))(0, 0);
+}
+
+std::pair<Tensor, Tensor> CriticNetwork::backward(const Tensor& grad_q) {
+  MIRAS_EXPECTS(grad_q.cols() == 1);
+  Tensor grad = grad_q;
+  for (std::size_t l = layers_.size() - 1; l >= 2; --l)
+    grad = layers_[l].backward(grad);
+  // grad is now dL/d([h1 || a]); split the columns.
+  const Tensor grad_concat = layers_[1].backward(grad);
+  const std::size_t h1_width = layers_[0].out_dim();
+  Tensor grad_h1(grad_concat.rows(), h1_width);
+  Tensor grad_actions(grad_concat.rows(), action_dim_);
+  for (std::size_t r = 0; r < grad_concat.rows(); ++r) {
+    for (std::size_t c = 0; c < h1_width; ++c)
+      grad_h1(r, c) = grad_concat(r, c);
+    for (std::size_t c = 0; c < action_dim_; ++c)
+      grad_actions(r, c) = grad_concat(r, h1_width + c);
+  }
+  Tensor grad_states = layers_[0].backward(grad_h1);
+  return {std::move(grad_states), std::move(grad_actions)};
+}
+
+void CriticNetwork::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::size_t CriticNetwork::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+std::vector<double> CriticNetwork::get_parameters() const {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    const Tensor& w = layer.weights();
+    flat.insert(flat.end(), w.data(), w.data() + w.size());
+    const Tensor& b = layer.bias();
+    flat.insert(flat.end(), b.data(), b.data() + b.size());
+  }
+  return flat;
+}
+
+void CriticNetwork::set_parameters(const std::vector<double>& flat) {
+  MIRAS_EXPECTS(flat.size() == parameter_count());
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    Tensor& w = layer.weights();
+    for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = flat[offset + i];
+    offset += w.size();
+    Tensor& b = layer.bias();
+    for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = flat[offset + i];
+    offset += b.size();
+  }
+}
+
+void CriticNetwork::soft_update_from(const CriticNetwork& source, double tau) {
+  MIRAS_EXPECTS(tau >= 0.0 && tau <= 1.0);
+  MIRAS_EXPECTS(layers_.size() == source.layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor& w = layers_[l].weights();
+    const Tensor& sw = source.layers_[l].weights();
+    MIRAS_EXPECTS(w.same_shape(sw));
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.data()[i] = tau * sw.data()[i] + (1.0 - tau) * w.data()[i];
+    Tensor& b = layers_[l].bias();
+    const Tensor& sb = source.layers_[l].bias();
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b.data()[i] = tau * sb.data()[i] + (1.0 - tau) * b.data()[i];
+  }
+}
+
+}  // namespace miras::nn

@@ -1,0 +1,72 @@
+// DDPG critic Q(s, a) with late action injection.
+//
+// Following the paper (§VI-A3), the critic mirrors the actor's MLP but the
+// action is inserted at the *second* layer: the state passes through layer 1
+// alone, then [h1 || a] feeds layer 2, and the final layer emits a scalar
+// Q-value. backward() returns both dQ/ds and dQ/da — the latter is the
+// deterministic-policy-gradient signal fed back through the actor.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace miras::nn {
+
+struct CriticSpec {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  /// Hidden widths; must have at least 2 entries (action joins at index 1).
+  std::vector<std::size_t> hidden_dims;
+  Activation hidden_activation = Activation::kRelu;
+};
+
+class CriticNetwork {
+ public:
+  CriticNetwork() = default;
+  CriticNetwork(const CriticSpec& spec, Rng& rng);
+
+  /// Assembles a critic from pre-built layers (deserialisation). Dimensions
+  /// are inferred: state_dim = layers[0].in_dim, action_dim =
+  /// layers[1].in_dim - layers[0].out_dim.
+  explicit CriticNetwork(std::vector<DenseLayer> layers);
+
+  std::size_t state_dim() const { return state_dim_; }
+  std::size_t action_dim() const { return action_dim_; }
+
+  /// Batched Q-values: states (B x S), actions (B x A) -> (B x 1).
+  /// Training mode (caches intermediates).
+  Tensor forward(const Tensor& states, const Tensor& actions);
+
+  /// Inference-only.
+  Tensor predict(const Tensor& states, const Tensor& actions) const;
+  double predict_one(const std::vector<double>& state,
+                     const std::vector<double>& action) const;
+
+  /// Backpropagates dL/dQ (B x 1); accumulates parameter gradients and
+  /// returns {dL/d(states), dL/d(actions)}.
+  std::pair<Tensor, Tensor> backward(const Tensor& grad_q);
+
+  void zero_grad();
+  std::size_t parameter_count() const;
+  std::vector<double> get_parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+  void soft_update_from(const CriticNetwork& source, double tau);
+
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+ private:
+  static Tensor concat_cols(const Tensor& a, const Tensor& b);
+
+  std::size_t state_dim_ = 0;
+  std::size_t action_dim_ = 0;
+  // layers_[0]: state -> h1; layers_[1]: [h1 || a] -> h2; then sequential;
+  // final layer emits the scalar Q.
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace miras::nn

@@ -1,0 +1,76 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+DenseLayer::DenseLayer(std::size_t in_dim, std::size_t out_dim,
+                       Activation activation, Rng& rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      activation_(activation),
+      weights_(in_dim, out_dim),
+      bias_(1, out_dim),
+      weight_grad_(in_dim, out_dim),
+      bias_grad_(1, out_dim) {
+  MIRAS_EXPECTS(in_dim > 0 && out_dim > 0);
+  const double fan_in = static_cast<double>(in_dim);
+  const double fan_out = static_cast<double>(out_dim);
+  const double scale = activation == Activation::kRelu
+                           ? std::sqrt(2.0 / fan_in)                 // He
+                           : std::sqrt(2.0 / (fan_in + fan_out));    // Glorot
+  for (std::size_t i = 0; i < in_dim; ++i)
+    for (std::size_t j = 0; j < out_dim; ++j)
+      weights_(i, j) = rng.normal(0.0, scale);
+}
+
+DenseLayer::DenseLayer(Tensor weights, Tensor bias, Activation activation)
+    : in_dim_(weights.rows()),
+      out_dim_(weights.cols()),
+      activation_(activation),
+      weights_(std::move(weights)),
+      bias_(std::move(bias)),
+      weight_grad_(in_dim_, out_dim_),
+      bias_grad_(1, out_dim_) {
+  MIRAS_EXPECTS(in_dim_ > 0 && out_dim_ > 0);
+  MIRAS_EXPECTS(bias_.rows() == 1 && bias_.cols() == out_dim_);
+}
+
+Tensor DenseLayer::forward(const Tensor& x) {
+  MIRAS_EXPECTS(x.cols() == in_dim_);
+  last_input_ = x;
+  last_pre_ = x.matmul(weights_);
+  last_pre_.add_row_broadcast(bias_);
+  last_post_ = activate(activation_, last_pre_);
+  return last_post_;
+}
+
+Tensor DenseLayer::forward_const(const Tensor& x) const {
+  MIRAS_EXPECTS(x.cols() == in_dim_);
+  Tensor pre = x.matmul(weights_);
+  pre.add_row_broadcast(bias_);
+  return activate(activation_, pre);
+}
+
+Tensor DenseLayer::backward(const Tensor& grad_output) {
+  MIRAS_EXPECTS(grad_output.rows() == last_input_.rows());
+  MIRAS_EXPECTS(grad_output.cols() == out_dim_);
+  const Tensor grad_pre =
+      activation_backward(activation_, last_pre_, last_post_, grad_output);
+  weight_grad_ += last_input_.transposed_matmul(grad_pre);
+  bias_grad_ += grad_pre.column_sums();
+  return grad_pre.matmul_transposed(weights_);
+}
+
+void DenseLayer::zero_grad() {
+  weight_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+std::size_t DenseLayer::parameter_count() const {
+  return weights_.size() + bias_.size();
+}
+
+}  // namespace miras::nn

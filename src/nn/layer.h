@@ -1,0 +1,74 @@
+// Fully connected layer with explicit forward/backward passes.
+//
+// Parameters are owned by the layer; gradients are stored alongside and are
+// consumed by an Optimizer. Layers cache the last forward pass's input and
+// activations so backward() can be called immediately after forward().
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "nn/activation.h"
+#include "nn/tensor.h"
+
+namespace miras::nn {
+
+class DenseLayer {
+ public:
+  /// Creates a (in_dim -> out_dim) layer. Weights use He initialisation for
+  /// ReLU and Xavier/Glorot otherwise; biases start at zero.
+  DenseLayer(std::size_t in_dim, std::size_t out_dim, Activation activation,
+             Rng& rng);
+
+  /// Reconstructs a layer from explicit parameters (deserialisation).
+  /// `weights` is (in_dim x out_dim); `bias` is (1 x out_dim).
+  DenseLayer(Tensor weights, Tensor bias, Activation activation);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  Activation activation() const { return activation_; }
+
+  /// Computes activate(x * W + b) for a batch (rows = samples). Caches
+  /// intermediates for backward().
+  Tensor forward(const Tensor& x);
+
+  /// Same as forward() but does not touch the cache; safe for inference on
+  /// target networks while a training pass is in flight.
+  Tensor forward_const(const Tensor& x) const;
+
+  /// Given dL/d(output), accumulates dL/dW and dL/db into the gradient
+  /// buffers and returns dL/d(input). Must follow a forward() call with the
+  /// same batch.
+  Tensor backward(const Tensor& grad_output);
+
+  /// Zeroes the gradient accumulators.
+  void zero_grad();
+
+  Tensor& weights() { return weights_; }
+  const Tensor& weights() const { return weights_; }
+  Tensor& bias() { return bias_; }
+  const Tensor& bias() const { return bias_; }
+  Tensor& weight_grad() { return weight_grad_; }
+  const Tensor& weight_grad() const { return weight_grad_; }
+  Tensor& bias_grad() { return bias_grad_; }
+  const Tensor& bias_grad() const { return bias_grad_; }
+
+  /// Total number of scalar parameters (weights + biases).
+  std::size_t parameter_count() const;
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  Activation activation_;
+  Tensor weights_;      // in_dim x out_dim
+  Tensor bias_;         // 1 x out_dim
+  Tensor weight_grad_;  // accumulators, same shapes
+  Tensor bias_grad_;
+
+  // Forward-pass cache.
+  Tensor last_input_;
+  Tensor last_pre_;
+  Tensor last_post_;
+};
+
+}  // namespace miras::nn

@@ -1,0 +1,49 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  MIRAS_EXPECTS(prediction.same_shape(target));
+  MIRAS_EXPECTS(prediction.size() > 0);
+  const double scale = 1.0 / static_cast<double>(prediction.size());
+  LossResult result;
+  result.grad = Tensor(prediction.rows(), prediction.cols());
+  for (std::size_t r = 0; r < prediction.rows(); ++r) {
+    for (std::size_t c = 0; c < prediction.cols(); ++c) {
+      const double diff = prediction(r, c) - target(r, c);
+      result.value += 0.5 * diff * diff * scale;
+      result.grad(r, c) = diff * scale;
+    }
+  }
+  return result;
+}
+
+LossResult huber_loss(const Tensor& prediction, const Tensor& target,
+                      double delta) {
+  MIRAS_EXPECTS(prediction.same_shape(target));
+  MIRAS_EXPECTS(prediction.size() > 0);
+  MIRAS_EXPECTS(delta > 0.0);
+  const double scale = 1.0 / static_cast<double>(prediction.size());
+  LossResult result;
+  result.grad = Tensor(prediction.rows(), prediction.cols());
+  for (std::size_t r = 0; r < prediction.rows(); ++r) {
+    for (std::size_t c = 0; c < prediction.cols(); ++c) {
+      const double diff = prediction(r, c) - target(r, c);
+      const double abs_diff = std::abs(diff);
+      if (abs_diff <= delta) {
+        result.value += 0.5 * diff * diff * scale;
+        result.grad(r, c) = diff * scale;
+      } else {
+        result.value += delta * (abs_diff - 0.5 * delta) * scale;
+        result.grad(r, c) = (diff > 0.0 ? delta : -delta) * scale;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace miras::nn

@@ -1,0 +1,23 @@
+// Regression losses with analytic gradients. Values are averaged over both
+// batch rows and output columns so learning rates transfer across batch
+// sizes and output widths.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace miras::nn {
+
+struct LossResult {
+  double value = 0.0;
+  Tensor grad;  // dL/d(prediction), same shape as the prediction
+};
+
+/// Mean squared error: mean((pred - target)^2) / 2.
+LossResult mse_loss(const Tensor& prediction, const Tensor& target);
+
+/// Huber loss with threshold `delta` (quadratic inside, linear outside);
+/// robust to the occasional extreme WIP transition in the replay data.
+LossResult huber_loss(const Tensor& prediction, const Tensor& target,
+                      double delta = 1.0);
+
+}  // namespace miras::nn

@@ -1,0 +1,121 @@
+#include "nn/network.h"
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+Network::Network(const MlpSpec& spec, Rng& rng) {
+  MIRAS_EXPECTS(spec.input_dim > 0);
+  MIRAS_EXPECTS(spec.output_dim > 0);
+  std::size_t prev = spec.input_dim;
+  for (const std::size_t width : spec.hidden_dims) {
+    layers_.emplace_back(prev, width, spec.hidden_activation, rng);
+    prev = width;
+  }
+  layers_.emplace_back(prev, spec.output_dim, spec.output_activation, rng);
+}
+
+Network::Network(std::vector<DenseLayer> layers) : layers_(std::move(layers)) {
+  MIRAS_EXPECTS(!layers_.empty());
+  for (std::size_t l = 1; l < layers_.size(); ++l)
+    MIRAS_EXPECTS(layers_[l].in_dim() == layers_[l - 1].out_dim());
+}
+
+std::size_t Network::input_dim() const {
+  MIRAS_EXPECTS(!layers_.empty());
+  return layers_.front().in_dim();
+}
+
+std::size_t Network::output_dim() const {
+  MIRAS_EXPECTS(!layers_.empty());
+  return layers_.back().out_dim();
+}
+
+Tensor Network::forward(const Tensor& x) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+Tensor Network::predict(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer.forward_const(h);
+  return h;
+}
+
+std::vector<double> Network::predict_one(const std::vector<double>& x) const {
+  return predict(Tensor::row_vector(x)).row(0);
+}
+
+Tensor Network::backward(const Tensor& grad_output) {
+  MIRAS_EXPECTS(!layers_.empty());
+  Tensor grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    grad = it->backward(grad);
+  return grad;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.parameter_count();
+  return total;
+}
+
+std::vector<double> Network::get_parameters() const {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    const Tensor& w = layer.weights();
+    flat.insert(flat.end(), w.data(), w.data() + w.size());
+    const Tensor& b = layer.bias();
+    flat.insert(flat.end(), b.data(), b.data() + b.size());
+  }
+  return flat;
+}
+
+void Network::set_parameters(const std::vector<double>& flat) {
+  MIRAS_EXPECTS(flat.size() == parameter_count());
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    Tensor& w = layer.weights();
+    for (std::size_t i = 0; i < w.size(); ++i) w.data()[i] = flat[offset + i];
+    offset += w.size();
+    Tensor& b = layer.bias();
+    for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = flat[offset + i];
+    offset += b.size();
+  }
+}
+
+void Network::perturb_parameters(double stddev, Rng& rng) {
+  MIRAS_EXPECTS(stddev >= 0.0);
+  for (auto& layer : layers_) {
+    Tensor& w = layer.weights();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.data()[i] += rng.normal(0.0, stddev);
+    Tensor& b = layer.bias();
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b.data()[i] += rng.normal(0.0, stddev);
+  }
+}
+
+void Network::soft_update_from(const Network& source, double tau) {
+  MIRAS_EXPECTS(tau >= 0.0 && tau <= 1.0);
+  MIRAS_EXPECTS(layers_.size() == source.layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Tensor& w = layers_[l].weights();
+    const Tensor& sw = source.layers_[l].weights();
+    MIRAS_EXPECTS(w.same_shape(sw));
+    for (std::size_t i = 0; i < w.size(); ++i)
+      w.data()[i] = tau * sw.data()[i] + (1.0 - tau) * w.data()[i];
+    Tensor& b = layers_[l].bias();
+    const Tensor& sb = source.layers_[l].bias();
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b.data()[i] = tau * sb.data()[i] + (1.0 - tau) * b.data()[i];
+  }
+}
+
+}  // namespace miras::nn

@@ -1,0 +1,81 @@
+// Sequential multilayer perceptron.
+//
+// Supports everything MIRAS needs from its networks:
+//  - batched forward/backward for supervised training (dynamics model,
+//    critic) and policy-gradient training (actor),
+//  - flat parameter get/set for parameter-space exploration noise and for
+//    DDPG's Polyak-averaged target networks,
+//  - value semantics (copyable) so a perturbed/target copy is one line.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace miras::nn {
+
+/// Shape description: hidden layers all use `hidden_activation`; the final
+/// layer uses `output_activation`.
+struct MlpSpec {
+  std::size_t input_dim = 0;
+  std::vector<std::size_t> hidden_dims;
+  std::size_t output_dim = 0;
+  Activation hidden_activation = Activation::kRelu;
+  Activation output_activation = Activation::kIdentity;
+};
+
+class Network {
+ public:
+  Network() = default;
+  Network(const MlpSpec& spec, Rng& rng);
+
+  /// Assembles a network from pre-built layers (deserialisation); adjacent
+  /// layer dimensions must match.
+  explicit Network(std::vector<DenseLayer> layers);
+
+  std::size_t input_dim() const;
+  std::size_t output_dim() const;
+  std::size_t num_layers() const { return layers_.size(); }
+  DenseLayer& layer(std::size_t i) { return layers_.at(i); }
+  const DenseLayer& layer(std::size_t i) const { return layers_.at(i); }
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+  /// Training-mode forward pass (caches intermediates for backward()).
+  Tensor forward(const Tensor& x);
+
+  /// Inference-only forward pass; does not disturb training caches.
+  Tensor predict(const Tensor& x) const;
+
+  /// Convenience for a single input vector.
+  std::vector<double> predict_one(const std::vector<double>& x) const;
+
+  /// Backpropagates dL/d(output); accumulates parameter gradients and
+  /// returns dL/d(input).
+  Tensor backward(const Tensor& grad_output);
+
+  void zero_grad();
+
+  /// Total scalar parameter count.
+  std::size_t parameter_count() const;
+
+  /// Flattens all parameters (layer by layer, weights then bias) into one
+  /// vector; the inverse of set_parameters().
+  std::vector<double> get_parameters() const;
+  void set_parameters(const std::vector<double>& flat);
+
+  /// Adds independent N(0, stddev) noise to every parameter (parameter-space
+  /// exploration, Plappert et al. 2018).
+  void perturb_parameters(double stddev, Rng& rng);
+
+  /// Polyak update: theta <- tau * source.theta + (1 - tau) * theta.
+  /// Requires identical architecture.
+  void soft_update_from(const Network& source, double tau);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace miras::nn

@@ -1,0 +1,61 @@
+// First-order optimisers operating on a network's layers. State (momentum /
+// Adam moments) is allocated lazily on the first step and keyed by layer
+// index, so one optimiser instance must stay paired with one network.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace miras::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients (does not zero them).
+  virtual void step(std::vector<DenseLayer>& layers) = 0;
+
+  /// Drops internal state (moments); used when a network is re-initialised.
+  virtual void reset() = 0;
+};
+
+/// Plain SGD with optional classical momentum.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double learning_rate, double momentum = 0.0);
+  void step(std::vector<DenseLayer>& layers) override;
+  void reset() override;
+
+ private:
+  double learning_rate_;
+  double momentum_;
+  std::vector<Tensor> weight_velocity_;
+  std::vector<Tensor> bias_velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8);
+  void step(std::vector<DenseLayer>& layers) override;
+  void reset() override;
+
+ private:
+  double learning_rate_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> weight_m_, weight_v_;
+  std::vector<Tensor> bias_m_, bias_v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm.
+double clip_gradients(std::vector<DenseLayer>& layers, double max_norm);
+
+}  // namespace miras::nn

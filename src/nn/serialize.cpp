@@ -1,0 +1,86 @@
+#include "nn/serialize.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace miras::nn {
+
+namespace {
+
+constexpr const char* kNetworkMagic = "miras-network-v1";
+constexpr const char* kCriticMagic = "miras-critic-v1";
+
+void write_layers(const std::vector<DenseLayer>& layers, std::ostream& out) {
+  out << layers.size() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& layer : layers) {
+    out << layer.in_dim() << ' ' << layer.out_dim() << ' '
+        << activation_name(layer.activation()) << '\n';
+    const Tensor& w = layer.weights();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      out << w.data()[i] << (i + 1 == w.size() ? '\n' : ' ');
+    const Tensor& b = layer.bias();
+    for (std::size_t i = 0; i < b.size(); ++i)
+      out << b.data()[i] << (i + 1 == b.size() ? '\n' : ' ');
+  }
+}
+
+std::vector<DenseLayer> read_layers(std::istream& in) {
+  std::size_t num_layers = 0;
+  if (!(in >> num_layers) || num_layers == 0)
+    throw std::runtime_error("serialize: bad layer count");
+  std::vector<DenseLayer> layers;
+  layers.reserve(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    std::size_t in_dim = 0, out_dim = 0;
+    std::string act_name;
+    if (!(in >> in_dim >> out_dim >> act_name) || in_dim == 0 || out_dim == 0)
+      throw std::runtime_error("serialize: bad layer header");
+    Tensor weights(in_dim, out_dim);
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      if (!(in >> weights.data()[i]))
+        throw std::runtime_error("serialize: truncated weights");
+    Tensor bias(1, out_dim);
+    for (std::size_t i = 0; i < bias.size(); ++i)
+      if (!(in >> bias.data()[i]))
+        throw std::runtime_error("serialize: truncated bias");
+    layers.emplace_back(std::move(weights), std::move(bias),
+                        activation_from_name(act_name));
+  }
+  return layers;
+}
+
+void expect_magic(std::istream& in, const char* magic) {
+  std::string token;
+  if (!(in >> token) || token != magic)
+    throw std::runtime_error(std::string("serialize: expected ") + magic +
+                             ", got '" + token + "'");
+}
+
+}  // namespace
+
+void save_network(const Network& net, std::ostream& out) {
+  out << kNetworkMagic << '\n';
+  write_layers(net.layers(), out);
+}
+
+Network load_network(std::istream& in) {
+  expect_magic(in, kNetworkMagic);
+  return Network(read_layers(in));
+}
+
+void save_critic(const CriticNetwork& net, std::ostream& out) {
+  out << kCriticMagic << '\n';
+  write_layers(net.layers(), out);
+}
+
+CriticNetwork load_critic(std::istream& in) {
+  expect_magic(in, kCriticMagic);
+  return CriticNetwork(read_layers(in));
+}
+
+}  // namespace miras::nn

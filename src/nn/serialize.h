@@ -1,0 +1,22 @@
+// Text (de)serialisation of networks, so trained policies and dynamics
+// models can be checkpointed and reloaded across processes. The format is a
+// simple self-describing token stream with full double precision.
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/critic_network.h"
+#include "nn/network.h"
+
+namespace miras::nn {
+
+void save_network(const Network& net, std::ostream& out);
+
+/// Reconstructs a Network saved with save_network(). Throws
+/// std::runtime_error on malformed input.
+Network load_network(std::istream& in);
+
+void save_critic(const CriticNetwork& net, std::ostream& out);
+CriticNetwork load_critic(std::istream& in);
+
+}  // namespace miras::nn

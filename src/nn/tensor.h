@@ -1,0 +1,97 @@
+// Dense row-major 2-D tensor (matrix) with the operations the network stack
+// needs: matmul (cache-friendly ikj order), transpose-free matmul variants,
+// elementwise arithmetic, row broadcasting. Batches are rows: a forward pass
+// over a batch of B inputs of width D is a (B x D) Tensor.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace miras::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialised (rows x cols) tensor.
+  Tensor(std::size_t rows, std::size_t cols);
+
+  /// Filled with `value`.
+  Tensor(std::size_t rows, std::size_t cols, double value);
+
+  /// From nested initialiser data; all rows must have equal length.
+  static Tensor from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// A 1 x n row vector view of `values`.
+  static Tensor row_vector(const std::vector<double>& values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copies row r out as a vector.
+  std::vector<double> row(std::size_t r) const;
+
+  /// Overwrites row r. `values.size()` must equal cols().
+  void set_row(std::size_t r, const std::vector<double>& values);
+
+  /// this (m x k) * other (k x n) -> (m x n).
+  Tensor matmul(const Tensor& other) const;
+
+  /// this^T (k x m -> m x k) * other (k x n) -> (m x n), without forming the
+  /// transpose. Used for weight gradients: dW = X^T * dY.
+  Tensor transposed_matmul(const Tensor& other) const;
+
+  /// this (m x k) * other^T (n x k -> k x n) -> (m x n). Used for input
+  /// gradients: dX = dY * W^T.
+  Tensor matmul_transposed(const Tensor& other) const;
+
+  Tensor transposed() const;
+
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(double scalar);
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  Tensor operator*(double scalar) const;
+
+  /// Elementwise (Hadamard) product.
+  Tensor hadamard(const Tensor& other) const;
+
+  /// Adds `bias` (1 x cols) to every row.
+  void add_row_broadcast(const Tensor& bias);
+
+  /// Sums all rows into a 1 x cols tensor (for bias gradients).
+  Tensor column_sums() const;
+
+  /// Applies f to every element in place.
+  void apply(const std::function<double(double)>& f);
+
+  /// Sum of all elements.
+  double sum() const;
+
+  /// Frobenius norm.
+  double norm() const;
+
+  /// Fills with zeros.
+  void fill(double value);
+
+  bool same_shape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace miras::nn

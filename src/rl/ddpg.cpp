@@ -1,0 +1,370 @@
+#include "rl/ddpg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.h"
+#include "nn/loss.h"
+
+namespace miras::rl {
+
+namespace {
+// Floors the normaliser's scale so low-variance dimensions (and the
+// empty-statistics cold start) cannot blow up the network inputs and
+// saturate the softmax head. In raw-WIP space one task is the natural unit;
+// log1p features live on a ~[0, 8] scale, so the floor shrinks with them.
+constexpr double kMinStddevRaw = 1.0;
+constexpr double kMinStddevLog = 0.1;
+}
+
+DdpgAgent::DdpgAgent(std::size_t state_dim, std::size_t action_dim,
+                     int consumer_budget, DdpgConfig config)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      consumer_budget_(consumer_budget),
+      config_(std::move(config)),
+      rng_(config_.seed),
+      actor_optimizer_(config_.actor_learning_rate),
+      critic_optimizer_(config_.critic_learning_rate),
+      critic2_optimizer_(config_.critic_learning_rate),
+      replay_(config_.replay_capacity),
+      parameter_noise_(config_.parameter_noise_initial,
+                       config_.parameter_noise_target_distance),
+      action_noise_(config_.action_noise_stddev),
+      state_stats_(state_dim) {
+  MIRAS_EXPECTS(state_dim > 0);
+  MIRAS_EXPECTS(action_dim > 0);
+  MIRAS_EXPECTS(consumer_budget > 0);
+  MIRAS_EXPECTS(config_.gamma >= 0.0 && config_.gamma < 1.0);
+  MIRAS_EXPECTS(config_.tau > 0.0 && config_.tau <= 1.0);
+
+  nn::MlpSpec actor_spec;
+  actor_spec.input_dim = state_dim;
+  actor_spec.hidden_dims = config_.actor_hidden;
+  actor_spec.output_dim = action_dim;
+  actor_spec.hidden_activation = nn::Activation::kRelu;
+  actor_spec.output_activation = nn::Activation::kSoftmax;
+  actor_ = nn::Network(actor_spec, rng_);
+  actor_.layers().back().weights() *= config_.actor_final_layer_scale;
+  actor_target_ = actor_;
+  perturbed_actor_ = actor_;
+
+  nn::CriticSpec critic_spec;
+  critic_spec.state_dim = state_dim;
+  critic_spec.action_dim = action_dim;
+  critic_spec.hidden_dims = config_.critic_hidden;
+  critic_ = nn::CriticNetwork(critic_spec, rng_);
+  critic_target_ = critic_;
+  if (config_.twin_critics) {
+    critic2_ = nn::CriticNetwork(critic_spec, rng_);  // independent init
+    critic2_target_ = critic2_;
+  }
+}
+
+double DdpgAgent::state_feature(double raw) const {
+  return config_.log_state_features ? std::log1p(std::max(raw, 0.0)) : raw;
+}
+
+std::vector<double> DdpgAgent::normalize_state(
+    const std::vector<double>& state) const {
+  MIRAS_EXPECTS(state.size() == state_dim_);
+  std::vector<double> normalized(state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j) {
+    const double feature = state_feature(state[j]);
+    if (state_stats_[j].count() < 2) {
+      normalized[j] = feature;  // no statistics yet: pass through
+      continue;
+    }
+    const double floor =
+        config_.log_state_features ? kMinStddevLog : kMinStddevRaw;
+    const double mean = state_stats_[j].mean();
+    const double stddev = std::max(state_stats_[j].stddev(), floor);
+    normalized[j] = (feature - mean) / stddev;
+  }
+  return normalized;
+}
+
+nn::Tensor DdpgAgent::normalize_states(
+    const std::vector<const Experience*>& batch, bool next) const {
+  nn::Tensor states(batch.size(), state_dim_);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    const auto& raw = next ? batch[b]->next_state : batch[b]->state;
+    states.set_row(b, normalize_state(raw));
+  }
+  return states;
+}
+
+std::vector<double> DdpgAgent::act(const std::vector<double>& state,
+                                   bool explore) {
+  const std::vector<double> normalized = normalize_state(state);
+  if (!explore || config_.exploration == ExplorationMode::kNone)
+    return actor_.predict_one(normalized);
+
+  const double roll = rng_.uniform();
+  if (roll < config_.epsilon_random) return random_simplex_action();
+  if (roll < config_.epsilon_random + config_.epsilon_demo)
+    return proportional_demo_action(state);
+
+  if (config_.exploration == ExplorationMode::kParameterNoise)
+    return perturbed_actor_.predict_one(normalized);
+
+  // Action-space noise: perturb the clean action. The perturbed weights can
+  // leave the simplex; count the would-be constraint violations that the
+  // paper observes with this exploration mode (§IV-D).
+  const std::vector<double> clean = actor_.predict_one(normalized);
+  std::vector<double> noisy = action_noise_.apply(clean, rng_);
+  double total = std::accumulate(noisy.begin(), noisy.end(), 0.0);
+  std::vector<int> raw_counts(noisy.size());
+  for (std::size_t j = 0; j < noisy.size(); ++j)
+    raw_counts[j] = static_cast<int>(
+        std::floor(static_cast<double>(consumer_budget_) * noisy[j]));
+  if (!satisfies_budget(raw_counts, consumer_budget_))
+    ++constraint_violations_;
+  (void)total;
+  return noisy;
+}
+
+std::vector<int> DdpgAgent::act_allocation(const std::vector<double>& state,
+                                           bool explore) {
+  std::vector<int> allocation = allocation_from_weights(
+      act(state, explore), consumer_budget_, config_.rounding);
+  if (config_.min_consumers_per_type > 0 &&
+      consumer_budget_ >= config_.min_consumers_per_type *
+                              static_cast<int>(action_dim_)) {
+    enforce_minimum_allocation(allocation, config_.min_consumers_per_type,
+                               consumer_budget_);
+  }
+  return allocation;
+}
+
+void DdpgAgent::observe(const std::vector<double>& state,
+                        const std::vector<double>& action, double reward,
+                        const std::vector<double>& next_state) {
+  MIRAS_EXPECTS(state.size() == state_dim_);
+  MIRAS_EXPECTS(action.size() == action_dim_);
+  MIRAS_EXPECTS(next_state.size() == state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j)
+    state_stats_[j].add(state_feature(state[j]));
+  if (!any_reward_seen_) {
+    min_reward_seen_ = reward;
+    max_reward_seen_ = reward;
+    any_reward_seen_ = true;
+  } else {
+    min_reward_seen_ = std::min(min_reward_seen_, reward);
+    max_reward_seen_ = std::max(max_reward_seen_, reward);
+  }
+  pending_.push_back(Experience{state, action, reward, next_state, 0.0});
+  if (pending_.size() >= std::max<std::size_t>(config_.n_step, 1))
+    mature_front_transition();
+}
+
+void DdpgAgent::mature_front_transition() {
+  MIRAS_EXPECTS(!pending_.empty());
+  // The front transition matures over the whole pending window:
+  // R = sum_i gamma^i r_i, bootstrapping from the window's last next_state.
+  Experience matured = pending_.front();
+  double factor = config_.gamma;
+  for (std::size_t i = 1; i < pending_.size(); ++i) {
+    matured.reward += factor * pending_[i].reward;
+    factor *= config_.gamma;
+  }
+  matured.next_state = pending_.back().next_state;
+  matured.discount = factor;
+  replay_.add(std::move(matured));
+  pending_.erase(pending_.begin());
+}
+
+void DdpgAgent::end_episode() {
+  // Mature the remaining transitions with progressively shorter horizons.
+  while (!pending_.empty()) mature_front_transition();
+}
+
+void DdpgAgent::observe_state_only(const std::vector<double>& state) {
+  MIRAS_EXPECTS(state.size() == state_dim_);
+  for (std::size_t j = 0; j < state_dim_; ++j)
+    state_stats_[j].add(state_feature(state[j]));
+}
+
+double DdpgAgent::update(std::size_t count) {
+  if (replay_.size() < std::max(config_.warmup, config_.batch_size))
+    return 0.0;
+
+  double critic_loss_sum = 0.0;
+  std::size_t ran = 0;
+  for (std::size_t step = 0; step < count; ++step) {
+    const auto batch = replay_.sample(config_.batch_size, rng_);
+    const std::size_t b_size = batch.size();
+
+    const nn::Tensor states = normalize_states(batch, /*next=*/false);
+    const nn::Tensor next_states = normalize_states(batch, /*next=*/true);
+    nn::Tensor actions(b_size, action_dim_);
+    nn::Tensor rewards(b_size, 1);
+    for (std::size_t b = 0; b < b_size; ++b) {
+      actions.set_row(b, batch[b]->action);
+      rewards(b, 0) = batch[b]->reward;
+    }
+
+    // ---- Critic update: y = R + gamma^n * min_i Q_i'(s', ~mu'(s')).
+    nn::Tensor next_actions = actor_target_.predict(next_states);
+    if (config_.target_policy_smoothing > 0.0) {
+      // Mix the bootstrap action with uniform so the target values a small
+      // neighbourhood of the policy, not a knife-edge simplex corner.
+      const double kappa = config_.target_policy_smoothing;
+      const double uniform_mass = kappa / static_cast<double>(action_dim_);
+      for (std::size_t b = 0; b < b_size; ++b)
+        for (std::size_t j = 0; j < action_dim_; ++j)
+          next_actions(b, j) =
+              (1.0 - kappa) * next_actions(b, j) + uniform_mass;
+    }
+    const nn::Tensor next_q = critic_target_.predict(next_states, next_actions);
+    nn::Tensor next_q_min = next_q;
+    if (config_.twin_critics) {
+      const nn::Tensor next_q2 =
+          critic2_target_.predict(next_states, next_actions);
+      for (std::size_t b = 0; b < b_size; ++b)
+        next_q_min(b, 0) = std::min(next_q(b, 0), next_q2(b, 0));
+    }
+    // Any true Q lies in [min_r, max_r] / (1 - gamma); clamping the
+    // bootstrapped target to that box prevents value divergence (the
+    // deadly-triad runaway that otherwise swamps dQ/da with noise). The
+    // bound also holds for n-step targets: partial sum + gamma^n * Q stays
+    // inside the same geometric envelope.
+    const double q_floor = min_reward_seen_ / (1.0 - config_.gamma);
+    const double q_ceil = max_reward_seen_ / (1.0 - config_.gamma);
+    nn::Tensor targets(b_size, 1);
+    for (std::size_t b = 0; b < b_size; ++b)
+      targets(b, 0) =
+          std::clamp(rewards(b, 0) + batch[b]->discount * next_q_min(b, 0),
+                     q_floor, q_ceil);
+
+    critic_.zero_grad();
+    const nn::Tensor q_values = critic_.forward(states, actions);
+    const nn::LossResult critic_loss = nn::huber_loss(q_values, targets, 10.0);
+    critic_.backward(critic_loss.grad);
+    nn::clip_gradients(critic_.layers(), config_.grad_clip);
+    critic_optimizer_.step(critic_.layers());
+    critic_loss_sum += critic_loss.value;
+
+    if (config_.twin_critics) {
+      critic2_.zero_grad();
+      const nn::Tensor q2_values = critic2_.forward(states, actions);
+      const nn::LossResult critic2_loss =
+          nn::huber_loss(q2_values, targets, 10.0);
+      critic2_.backward(critic2_loss.grad);
+      nn::clip_gradients(critic2_.layers(), config_.grad_clip);
+      critic2_optimizer_.step(critic2_.layers());
+    }
+
+    ++updates_performed_;
+    ++ran;
+
+    // ---- Delayed actor + target updates (TD3).
+    if (updates_performed_ % std::max<std::size_t>(config_.policy_delay, 1) !=
+        0)
+      continue;
+
+    actor_.zero_grad();
+    critic_.zero_grad();  // the critic is only a conduit for gradients here
+    const nn::Tensor policy_actions = actor_.forward(states);
+    (void)critic_.forward(states, policy_actions);
+    nn::Tensor grad_q(b_size, 1);
+    grad_q.fill(-1.0 / static_cast<double>(b_size));  // maximise mean Q
+    auto [grad_states, grad_actions] = critic_.backward(grad_q);
+    (void)grad_states;
+    if (config_.actor_entropy_coef > 0.0) {
+      // loss += beta * sum_j a_j log a_j (negative entropy), averaged over
+      // the batch; d/da_j = beta * (log a_j + 1).
+      const double beta =
+          config_.actor_entropy_coef / static_cast<double>(b_size);
+      for (std::size_t b = 0; b < b_size; ++b)
+        for (std::size_t j = 0; j < action_dim_; ++j)
+          grad_actions(b, j) +=
+              beta * (std::log(std::max(policy_actions(b, j), 1e-12)) + 1.0);
+    }
+    actor_.backward(grad_actions);
+    nn::clip_gradients(actor_.layers(), config_.grad_clip);
+    actor_optimizer_.step(actor_.layers());
+    if (config_.actor_logit_decay > 0.0) {
+      nn::DenseLayer& head = actor_.layers().back();
+      const double keep = 1.0 - config_.actor_logit_decay;
+      head.weights() *= keep;
+      head.bias() *= keep;
+    }
+    critic_.zero_grad();  // drop the conduit gradients
+
+    // ---- Target networks.
+    actor_target_.soft_update_from(actor_, config_.tau);
+    critic_target_.soft_update_from(critic_, config_.tau);
+    if (config_.twin_critics)
+      critic2_target_.soft_update_from(critic2_, config_.tau);
+
+    if (config_.exploration == ExplorationMode::kParameterNoise)
+      adapt_parameter_noise();
+  }
+  return ran > 0 ? critic_loss_sum / static_cast<double>(ran) : 0.0;
+}
+
+std::vector<double> DdpgAgent::proportional_demo_action(
+    const std::vector<double>& state) {
+  std::vector<double> weights(action_dim_);
+  double total = 0.0;
+  for (std::size_t j = 0; j < action_dim_; ++j) {
+    // +1 keeps idle queues warm; mild noise varies the demonstrations.
+    weights[j] = (std::max(state[j], 0.0) + 1.0) * rng_.uniform(0.75, 1.25);
+    total += weights[j];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+std::vector<double> DdpgAgent::random_simplex_action() {
+  // Exponential spacings: a uniform draw from the simplex.
+  std::vector<double> weights(action_dim_);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng_.exponential(1.0);
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+void DdpgAgent::adapt_parameter_noise() {
+  if (replay_.empty()) return;
+  // Measure the action-space distance induced by the current perturbation
+  // on a small probe batch, then steer sigma toward the target distance.
+  const std::size_t probe = std::min<std::size_t>(16, replay_.size());
+  const auto batch = replay_.sample(probe, rng_);
+  const nn::Tensor states = normalize_states(batch, /*next=*/false);
+  const nn::Tensor clean = actor_.predict(states);
+  const nn::Tensor perturbed = perturbed_actor_.predict(states);
+  double distance_sum = 0.0;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    double sq = 0.0;
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      const double diff = clean(b, j) - perturbed(b, j);
+      sq += diff * diff;
+    }
+    distance_sum += std::sqrt(sq);
+  }
+  parameter_noise_.adapt(distance_sum / static_cast<double>(batch.size()));
+}
+
+void DdpgAgent::refresh_perturbed_actor() {
+  perturbed_actor_ = actor_;
+  perturbed_actor_.perturb_parameters(parameter_noise_.stddev(), rng_);
+}
+
+void DdpgAgent::resample_exploration() {
+  end_episode();  // an episode boundary: never blend returns across it
+  if (config_.exploration == ExplorationMode::kParameterNoise)
+    refresh_perturbed_actor();
+}
+
+double DdpgAgent::q_value(const std::vector<double>& state,
+                          const std::vector<double>& action) const {
+  return critic_.predict_one(normalize_state(state), action);
+}
+
+}  // namespace miras::rl

@@ -1,0 +1,47 @@
+// The resource-allocation policy interface shared by MIRAS, the baselines,
+// and the simple reference policies. At the beginning of window k a policy
+// observes the previous window's statistics (whose `wip` field is the
+// current state s(k)) and returns the allocation m(k) to apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace miras::rl {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once when an evaluation episode starts; stateful policies reset
+  /// their estimators here.
+  virtual void begin_episode() {}
+
+  /// Decides the allocation for the upcoming window. `last_window.wip` is
+  /// the current observable state; other fields describe the window that
+  /// just ended (zeros for the very first decision). `budget` is C.
+  virtual std::vector<int> decide(const sim::WindowStats& last_window,
+                                  int budget) = 0;
+};
+
+/// Builds the WindowStats a policy sees for its very first decision after
+/// reset: current WIP with zeroed history fields.
+inline sim::WindowStats initial_window_stats(const std::vector<double>& wip,
+                                             std::size_t num_workflows,
+                                             std::size_t num_task_types) {
+  sim::WindowStats stats;
+  stats.wip = wip;
+  stats.reward = sim::reward_from_wip(wip);
+  stats.completed.assign(num_workflows, 0);
+  stats.mean_response_time.assign(num_workflows, 0.0);
+  stats.task_arrivals.assign(num_task_types, 0);
+  stats.task_completions.assign(num_task_types, 0);
+  stats.allocation.assign(num_task_types, 0);
+  return stats;
+}
+
+}  // namespace miras::rl

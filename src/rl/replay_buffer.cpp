@@ -1,0 +1,44 @@
+#include "rl/replay_buffer.h"
+
+#include "common/contracts.h"
+
+namespace miras::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  MIRAS_EXPECTS(capacity > 0);
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::add(Experience experience) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(experience));
+  } else {
+    storage_[write_index_] = std::move(experience);
+  }
+  write_index_ = (write_index_ + 1) % capacity_;
+}
+
+std::vector<const Experience*> ReplayBuffer::sample(std::size_t count,
+                                                    Rng& rng) const {
+  MIRAS_EXPECTS(!storage_.empty());
+  std::vector<const Experience*> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(storage_.size()) - 1));
+    batch.push_back(&storage_[index]);
+  }
+  return batch;
+}
+
+const Experience& ReplayBuffer::operator[](std::size_t i) const {
+  MIRAS_EXPECTS(i < storage_.size());
+  return storage_[i];
+}
+
+void ReplayBuffer::clear() {
+  storage_.clear();
+  write_index_ = 0;
+}
+
+}  // namespace miras::rl

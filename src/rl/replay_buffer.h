@@ -1,0 +1,51 @@
+// Fixed-capacity experience replay for DDPG. Stores continuous (weight-
+// space) actions; the environment-facing integer allocation is recoverable
+// via rl::allocation_from_weights but is not needed for learning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace miras::rl {
+
+struct Experience {
+  std::vector<double> state;
+  std::vector<double> action;  // simplex weights
+  /// Accumulated (discounted) reward between `state` and `next_state` —
+  /// a single-step reward for 1-step transitions, an n-step return for
+  /// n-step ones.
+  double reward = 0.0;
+  std::vector<double> next_state;
+  /// Discount applied to the bootstrapped value of `next_state`
+  /// (gamma^n for an n-step transition).
+  double discount = 0.0;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+
+  /// Appends, overwriting the oldest entry once at capacity.
+  void add(Experience experience);
+
+  /// Uniform sample with replacement of `count` experiences.
+  /// Requires !empty().
+  std::vector<const Experience*> sample(std::size_t count, Rng& rng) const;
+
+  const Experience& operator[](std::size_t i) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t write_index_ = 0;
+  std::vector<Experience> storage_;
+};
+
+}  // namespace miras::rl

@@ -1,0 +1,58 @@
+#include "sim/dependency_service.h"
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+
+DependencyService::DependencyService(const workflows::Ensemble* ensemble)
+    : ensemble_(ensemble) {
+  MIRAS_EXPECTS(ensemble != nullptr);
+}
+
+DependencyService::NewInstance DependencyService::create_instance(
+    std::size_t workflow_type, SimTime arrival_time) {
+  MIRAS_EXPECTS(workflow_type < ensemble_->num_workflows());
+  const auto& graph = ensemble_->workflow(workflow_type);
+
+  Instance instance;
+  instance.workflow_type = workflow_type;
+  instance.arrival_time = arrival_time;
+  instance.remaining_nodes = graph.num_nodes();
+  instance.remaining_preds.resize(graph.num_nodes());
+  for (std::size_t n = 0; n < graph.num_nodes(); ++n)
+    instance.remaining_preds[n] = graph.in_degree(n);
+
+  NewInstance result;
+  result.id = next_id_++;
+  result.initial_nodes = graph.roots();
+  instances_.emplace(result.id, std::move(instance));
+  return result;
+}
+
+DependencyService::CompletionResult DependencyService::on_task_complete(
+    std::uint64_t id, std::size_t node) {
+  const auto it = instances_.find(id);
+  MIRAS_EXPECTS(it != instances_.end());
+  Instance& instance = it->second;
+  const auto& graph = ensemble_->workflow(instance.workflow_type);
+  MIRAS_EXPECTS(node < graph.num_nodes());
+  MIRAS_EXPECTS(instance.remaining_nodes > 0);
+
+  CompletionResult result;
+  result.workflow_type = instance.workflow_type;
+  result.arrival_time = instance.arrival_time;
+
+  for (const std::size_t succ : graph.successors(node)) {
+    MIRAS_ASSERT(instance.remaining_preds[succ] > 0);
+    if (--instance.remaining_preds[succ] == 0)
+      result.ready_nodes.push_back(succ);
+  }
+
+  if (--instance.remaining_nodes == 0) {
+    result.workflow_complete = true;
+    instances_.erase(it);
+  }
+  return result;
+}
+
+}  // namespace miras::sim

@@ -1,0 +1,56 @@
+// Task Dependency Service (TDS, §II-A): tracks live workflow instances,
+// answers "which tasks run first" on arrival, and "which tasks become ready"
+// on each completion (fan-in join counting), and detects workflow
+// completion. Plays the role of the paper's Zookeeper ensemble.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.h"
+#include "workflows/ensemble.h"
+
+namespace miras::sim {
+
+class DependencyService {
+ public:
+  explicit DependencyService(const workflows::Ensemble* ensemble);
+
+  /// Starts tracking a new workflow request; returns its instance id and
+  /// the DAG root nodes to publish immediately.
+  struct NewInstance {
+    std::uint64_t id = 0;
+    std::vector<std::size_t> initial_nodes;
+  };
+  NewInstance create_instance(std::size_t workflow_type, SimTime arrival_time);
+
+  /// Records completion of `node` in instance `id`; returns the successor
+  /// nodes whose dependencies are now fully satisfied, and whether the
+  /// whole workflow finished with this completion.
+  struct CompletionResult {
+    std::vector<std::size_t> ready_nodes;
+    bool workflow_complete = false;
+    std::size_t workflow_type = 0;
+    SimTime arrival_time = 0.0;
+  };
+  CompletionResult on_task_complete(std::uint64_t id, std::size_t node);
+
+  std::size_t live_instances() const { return instances_.size(); }
+
+  void clear() { instances_.clear(); }
+
+ private:
+  struct Instance {
+    std::size_t workflow_type = 0;
+    SimTime arrival_time = 0.0;
+    std::vector<std::size_t> remaining_preds;  // per DAG node
+    std::size_t remaining_nodes = 0;
+  };
+
+  const workflows::Ensemble* ensemble_;
+  std::unordered_map<std::uint64_t, Instance> instances_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,59 @@
+// Discrete-event simulation core: a time-ordered event queue with a
+// monotonically advancing clock. Ties are broken by insertion sequence so
+// runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace miras::sim {
+
+/// Simulated seconds since the last reset.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `handler` at absolute time `when`; `when` must not precede
+  /// the current clock.
+  void schedule(SimTime when, Handler handler);
+
+  /// Convenience: schedules at now() + delay (delay >= 0).
+  void schedule_in(SimTime delay, Handler handler);
+
+  /// Executes all events with time <= `until` in (time, insertion) order,
+  /// then advances the clock to `until`. Handlers may schedule new events,
+  /// including at the current time.
+  void run_until(SimTime until);
+
+  /// Drops all pending events and rewinds the clock to zero.
+  void reset();
+
+  std::size_t pending_events() const { return heap_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,44 @@
+// The environment interface shared by the real (emulated) microservice
+// workflow system and the learned synthetic environment. MIRAS trains its
+// policy against either one interchangeably (§III, Figure 3).
+#pragma once
+
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace miras::sim {
+
+struct StepResult {
+  /// Next state s(k+1): WIP per task type.
+  std::vector<double> state;
+  /// r(k) per paper Eq. 1.
+  double reward = 0.0;
+  /// Full window detail; synthetic environments fill only wip/reward.
+  WindowStats stats;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Dimensionality of the state vector (J, the number of task types).
+  virtual std::size_t state_dim() const = 0;
+
+  /// Dimensionality of the action vector; equals state_dim() in this system
+  /// (one consumer count per microservice).
+  virtual std::size_t action_dim() const = 0;
+
+  /// Total consumer budget C; every action must satisfy sum(m) <= C.
+  virtual int consumer_budget() const = 0;
+
+  /// Returns the system to a low-WIP initial state and returns s(0).
+  virtual std::vector<double> reset() = 0;
+
+  /// Applies the allocation m(k) for one window and returns the transition.
+  /// Requires allocation.size() == action_dim(), all entries >= 0, and
+  /// sum <= consumer_budget().
+  virtual StepResult step(const std::vector<int>& allocation) = 0;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,11 @@
+#include "sim/metrics.h"
+
+#include "common/stats.h"
+
+namespace miras::sim {
+
+double reward_from_wip(const std::vector<double>& wip) {
+  return 1.0 - sum_of(wip);
+}
+
+}  // namespace miras::sim

@@ -1,0 +1,46 @@
+// Per-window observations the RL agent and the evaluation harness consume.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace miras::sim {
+
+/// Everything observed over one control window (T_k, T_{k+1}).
+struct WindowStats {
+  /// Work-in-progress per task type at the window end: queued + in-service
+  /// (the paper's w(k), §II-B). This is the RL state.
+  std::vector<double> wip;
+
+  /// r(k) = 1 - sum_j w_j(k) (paper Eq. 1).
+  double reward = 0.0;
+
+  /// Workflow requests that arrived during the window, per workflow type.
+  std::vector<std::size_t> arrivals;
+
+  /// Workflow requests that *completed* during the window, per type.
+  std::vector<std::size_t> completed;
+
+  /// Mean response time (arrival -> last task finished) of the requests in
+  /// `completed`, per workflow type; 0 when none completed.
+  std::vector<double> mean_response_time;
+
+  /// Mean response time across all workflow types completed this window;
+  /// 0 when none completed.
+  double overall_mean_response_time = 0.0;
+
+  /// Task requests that entered each microservice's queue this window
+  /// (includes DAG successors published by completing tasks), per task type.
+  std::vector<std::size_t> task_arrivals;
+
+  /// Task requests each microservice finished this window, per task type.
+  std::vector<std::size_t> task_completions;
+
+  /// The consumer allocation that was in force during the window.
+  std::vector<int> allocation;
+};
+
+/// Computes reward from a WIP vector (paper Eq. 1).
+double reward_from_wip(const std::vector<double>& wip);
+
+}  // namespace miras::sim

@@ -1,0 +1,102 @@
+// The emulated microservice workflow infrastructure (Figures 1 & 2 of the
+// paper): one request queue + consumer pool per task type, a dependency
+// service routing DAG successors, Poisson workload with optional bursts,
+// and a window-granular control interface (Env).
+//
+// This component substitutes for the paper's GCP/Kubernetes/RabbitMQ
+// testbed; see DESIGN.md §1 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/consumer_pool.h"
+#include "sim/dependency_service.h"
+#include "sim/engine.h"
+#include "sim/env.h"
+#include "sim/task_queue.h"
+#include "sim/workload.h"
+#include "workflows/ensemble.h"
+
+namespace miras::sim {
+
+struct SystemConfig {
+  /// Control-window length in seconds (§VI-A2: the paper settles on 30 s).
+  double window_length = 30.0;
+  /// Total consumer budget C (14 for MSD, 30 for LIGO, §VI-A4).
+  int consumer_budget = 14;
+  /// Container start-up delay bounds (§VI-A2: "5 to 10 seconds").
+  double startup_delay_min = 5.0;
+  double startup_delay_max = 10.0;
+  /// Master seed; the whole trajectory is a deterministic function of it.
+  std::uint64_t seed = 1;
+};
+
+/// Internal accounting counters exposed for conservation tests.
+struct SystemCounters {
+  std::uint64_t workflows_arrived = 0;
+  std::uint64_t workflows_completed = 0;
+  std::uint64_t tasks_enqueued = 0;
+  std::uint64_t tasks_completed = 0;
+};
+
+class MicroserviceSystem final : public Env {
+ public:
+  MicroserviceSystem(workflows::Ensemble ensemble, SystemConfig config);
+
+  // Env interface -----------------------------------------------------------
+  std::size_t state_dim() const override;
+  std::size_t action_dim() const override;
+  int consumer_budget() const override { return config_.consumer_budget; }
+  std::vector<double> reset() override;
+  StepResult step(const std::vector<int>& allocation) override;
+
+  // Extras ------------------------------------------------------------------
+  /// Injects `burst.counts[i]` requests of each workflow type i at the
+  /// current instant (call between reset() and the first step()).
+  void inject_burst(const BurstSpec& burst);
+
+  /// Current WIP per task type (queued + in service).
+  std::vector<double> observe_wip() const;
+
+  const workflows::Ensemble& ensemble() const { return ensemble_; }
+  const SystemConfig& config() const { return config_; }
+  SimTime now() const { return events_.now(); }
+  const SystemCounters& counters() const { return counters_; }
+
+  /// Live tasks anywhere in the system (queued + in service), for
+  /// conservation checks: tasks_enqueued == tasks_completed + live_tasks().
+  std::uint64_t live_tasks() const;
+
+ private:
+  void schedule_next_arrival(std::size_t workflow_type);
+  void handle_arrival(std::size_t workflow_type, bool from_steady_stream);
+  void enqueue_task(std::uint64_t instance, std::size_t workflow_type,
+                    std::size_t node);
+  void try_dispatch(std::size_t task_type);
+  void handle_task_complete(std::size_t task_type, TaskRequest request);
+  void handle_consumer_ready(std::size_t task_type);
+  void apply_allocation(const std::vector<int>& allocation);
+
+  workflows::Ensemble ensemble_;
+  SystemConfig config_;
+  Rng rng_;
+
+  EventQueue events_;
+  DependencyService dependency_service_;
+  WorkloadSource workload_;
+  std::vector<TaskQueue> queues_;    // one per task type
+  std::vector<ConsumerPool> pools_;  // one per task type
+  SystemCounters counters_;
+
+  // Accumulators for the in-progress window.
+  std::vector<std::size_t> window_arrivals_;
+  std::vector<std::size_t> window_completed_;
+  std::vector<double> window_response_sum_;
+  std::vector<std::size_t> window_task_arrivals_;
+  std::vector<std::size_t> window_task_completions_;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,14 @@
+#include "sim/task_queue.h"
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+
+TaskRequest TaskQueue::pop() {
+  MIRAS_EXPECTS(!queue_.empty());
+  TaskRequest front = queue_.front();
+  queue_.pop_front();
+  return front;
+}
+
+}  // namespace miras::sim

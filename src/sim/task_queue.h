@@ -1,0 +1,34 @@
+// Per-microservice FIFO request queue (the RabbitMQ queue of §II-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/engine.h"
+
+namespace miras::sim {
+
+/// One task request waiting in (or flowing through) a microservice.
+struct TaskRequest {
+  std::uint64_t workflow_instance = 0;  // owning workflow request
+  std::size_t node = 0;                 // node index within the workflow DAG
+  SimTime enqueue_time = 0.0;
+};
+
+class TaskQueue {
+ public:
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  void push(TaskRequest request) { queue_.push_back(request); }
+
+  /// Removes and returns the oldest request. Requires !empty().
+  TaskRequest pop();
+
+  void clear() { queue_.clear(); }
+
+ private:
+  std::deque<TaskRequest> queue_;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,26 @@
+#include "sim/workload.h"
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+
+WorkloadSource::WorkloadSource(std::vector<double> rates, Rng rng)
+    : rates_(std::move(rates)), rng_(rng) {
+  for (const double rate : rates_) MIRAS_EXPECTS(rate >= 0.0);
+}
+
+double WorkloadSource::rate(std::size_t workflow_type) const {
+  MIRAS_EXPECTS(workflow_type < rates_.size());
+  return rates_[workflow_type];
+}
+
+bool WorkloadSource::has_stream(std::size_t workflow_type) const {
+  return rate(workflow_type) > 0.0;
+}
+
+SimTime WorkloadSource::next_gap(std::size_t workflow_type) {
+  MIRAS_EXPECTS(has_stream(workflow_type));
+  return rng_.exponential(rates_[workflow_type]);
+}
+
+}  // namespace miras::sim

@@ -1,0 +1,43 @@
+// Workload generation: steady Poisson request streams per workflow type
+// (§VI-A1 "We use Poisson process to emulate request traces"), plus the
+// burst injections used by the comparison experiments (§VI-D: "these
+// request bursts are fed into the system at the beginning of each
+// evaluation").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace miras::sim {
+
+/// A burst: `counts[i]` requests of workflow type i injected at one instant.
+struct BurstSpec {
+  std::vector<std::size_t> counts;
+};
+
+/// Draws exponential inter-arrival gaps per workflow type. Stateless beyond
+/// its RNG; the system schedules the actual arrival events.
+class WorkloadSource {
+ public:
+  /// `rates[i]` is workflow type i's Poisson rate in requests/second.
+  /// A rate of 0 disables that type's steady stream.
+  WorkloadSource(std::vector<double> rates, Rng rng);
+
+  std::size_t num_workflow_types() const { return rates_.size(); }
+  double rate(std::size_t workflow_type) const;
+
+  /// True when the type has a steady arrival stream.
+  bool has_stream(std::size_t workflow_type) const;
+
+  /// Next inter-arrival gap (seconds) for the type. Requires has_stream().
+  SimTime next_gap(std::size_t workflow_type);
+
+ private:
+  std::vector<double> rates_;
+  Rng rng_;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,66 @@
+#include "workflows/ensemble.h"
+
+#include "common/contracts.h"
+
+namespace miras::workflows {
+
+Ensemble::Ensemble(std::string name) : name_(std::move(name)) {}
+
+std::size_t Ensemble::add_task_type(std::string task_name,
+                                    ServiceTimeModel service_time) {
+  task_types_.push_back({std::move(task_name), service_time});
+  return task_types_.size() - 1;
+}
+
+std::size_t Ensemble::add_workflow(WorkflowGraph graph, double arrival_rate) {
+  MIRAS_EXPECTS(arrival_rate >= 0.0);
+  graph.validate();
+  for (std::size_t n = 0; n < graph.num_nodes(); ++n)
+    MIRAS_EXPECTS(graph.task_type_of(n) < task_types_.size());
+  workflows_.push_back(std::move(graph));
+  arrival_rates_.push_back(arrival_rate);
+  return workflows_.size() - 1;
+}
+
+const TaskTypeInfo& Ensemble::task_type(std::size_t id) const {
+  MIRAS_EXPECTS(id < task_types_.size());
+  return task_types_[id];
+}
+
+const WorkflowGraph& Ensemble::workflow(std::size_t id) const {
+  MIRAS_EXPECTS(id < workflows_.size());
+  return workflows_[id];
+}
+
+double Ensemble::arrival_rate(std::size_t workflow_id) const {
+  MIRAS_EXPECTS(workflow_id < arrival_rates_.size());
+  return arrival_rates_[workflow_id];
+}
+
+void Ensemble::scale_arrival_rates(double factor) {
+  MIRAS_EXPECTS(factor > 0.0);
+  for (double& rate : arrival_rates_) rate *= factor;
+}
+
+double Ensemble::offered_load() const {
+  double load = 0.0;
+  for (std::size_t w = 0; w < workflows_.size(); ++w) {
+    double demand = 0.0;
+    for (std::size_t n = 0; n < workflows_[w].num_nodes(); ++n)
+      demand += task_types_[workflows_[w].task_type_of(n)].service_time.mean();
+    load += arrival_rates_[w] * demand;
+  }
+  return load;
+}
+
+void Ensemble::validate() const {
+  MIRAS_EXPECTS(!task_types_.empty());
+  MIRAS_EXPECTS(!workflows_.empty());
+  for (const auto& graph : workflows_) {
+    graph.validate();
+    for (std::size_t n = 0; n < graph.num_nodes(); ++n)
+      MIRAS_EXPECTS(graph.task_type_of(n) < task_types_.size());
+  }
+}
+
+}  // namespace miras::workflows

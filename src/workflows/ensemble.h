@@ -1,0 +1,63 @@
+// A workflow ensemble: the set of task types (each backed by one
+// microservice) plus the set of workflow DAGs composed from them, with
+// steady-state Poisson arrival rates. This is the paper's "N workflow types
+// composed of J types of tasks" (§II-B).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workflows/service_time.h"
+#include "workflows/workflow_graph.h"
+
+namespace miras::workflows {
+
+struct TaskTypeInfo {
+  std::string name;
+  ServiceTimeModel service_time;
+};
+
+class Ensemble {
+ public:
+  explicit Ensemble(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// Registers a task type (== one microservice); returns its global id.
+  std::size_t add_task_type(std::string task_name,
+                            ServiceTimeModel service_time);
+
+  /// Registers a workflow type with a steady-state Poisson arrival rate in
+  /// requests/second. The graph must be a valid DAG whose node task types
+  /// are all registered.
+  std::size_t add_workflow(WorkflowGraph graph, double arrival_rate);
+
+  std::size_t num_task_types() const { return task_types_.size(); }
+  std::size_t num_workflows() const { return workflows_.size(); }
+
+  const TaskTypeInfo& task_type(std::size_t id) const;
+  const WorkflowGraph& workflow(std::size_t id) const;
+  double arrival_rate(std::size_t workflow_id) const;
+
+  /// Scales all arrival rates by `factor` (> 0); used to sweep load.
+  void scale_arrival_rates(double factor);
+
+  /// Mean total service demand per second across the ensemble, in
+  /// consumer-seconds/second: sum over workflows of rate_i * sum of node
+  /// service means. An allocation budget C below this value is infeasible in
+  /// steady state.
+  double offered_load() const;
+
+  /// Validates every workflow graph and that all referenced task types
+  /// exist. Throws ContractViolation on failure.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<TaskTypeInfo> task_types_;
+  std::vector<WorkflowGraph> workflows_;
+  std::vector<double> arrival_rates_;
+};
+
+}  // namespace miras::workflows

@@ -1,0 +1,89 @@
+#include "workflows/ligo.h"
+
+namespace miras::workflows {
+
+Ensemble make_ligo_ensemble(const LigoOptions& options) {
+  Ensemble ensemble("ligo");
+  const double cv = options.service_cv;
+  const auto datafind = ensemble.add_task_type(
+      "DataFind", ServiceTimeModel::lognormal(3.0, cv));
+  const auto tmpltbank = ensemble.add_task_type(
+      "TmpltBank", ServiceTimeModel::lognormal(5.0, cv));
+  const auto inspiral = ensemble.add_task_type(
+      "Inspiral", ServiceTimeModel::lognormal(12.0, cv));
+  const auto thinca =
+      ensemble.add_task_type("Thinca", ServiceTimeModel::lognormal(4.0, cv));
+  const auto trigbank = ensemble.add_task_type(
+      "TrigBank", ServiceTimeModel::lognormal(3.0, cv));
+  const auto sire =
+      ensemble.add_task_type("Sire", ServiceTimeModel::lognormal(4.0, cv));
+  const auto coire =
+      ensemble.add_task_type("Coire", ServiceTimeModel::lognormal(10.0, cv));
+  const auto inca =
+      ensemble.add_task_type("Inca", ServiceTimeModel::lognormal(5.0, cv));
+  const auto injfind =
+      ensemble.add_task_type("InjFind", ServiceTimeModel::lognormal(4.0, cv));
+
+  {
+    // Light data-discovery workflow; arrives most often.
+    WorkflowGraph wf("DataFind");
+    const auto a = wf.add_node(datafind);
+    const auto b = wf.add_node(inca);
+    wf.add_edge(a, b);
+    ensemble.add_workflow(std::move(wf), 0.10 * options.load_factor);
+  }
+  {
+    // Category-veto analysis chain ending at the shared Coire stage.
+    WorkflowGraph wf("CAT");
+    const auto a = wf.add_node(datafind);
+    const auto b = wf.add_node(tmpltbank);
+    const auto c = wf.add_node(inspiral);
+    const auto d = wf.add_node(thinca);
+    const auto e = wf.add_node(coire);
+    wf.add_edge(a, b);
+    wf.add_edge(b, c);
+    wf.add_edge(c, d);
+    wf.add_edge(d, e);
+    ensemble.add_workflow(std::move(wf), 0.08 * options.load_factor);
+  }
+  {
+    // Full analysis with a parallel Inspiral/TrigBank branch joining at
+    // Thinca, then Sire -> Coire.
+    WorkflowGraph wf("Full");
+    const auto a = wf.add_node(datafind);
+    const auto b = wf.add_node(tmpltbank);
+    const auto c = wf.add_node(inspiral);
+    const auto d = wf.add_node(trigbank);
+    const auto e = wf.add_node(thinca);
+    const auto f = wf.add_node(sire);
+    const auto g = wf.add_node(coire);
+    wf.add_edge(a, b);
+    wf.add_edge(b, c);
+    wf.add_edge(b, d);
+    wf.add_edge(c, e);
+    wf.add_edge(d, e);
+    wf.add_edge(e, f);
+    wf.add_edge(f, g);
+    ensemble.add_workflow(std::move(wf), 0.06 * options.load_factor);
+  }
+  {
+    // Software-injection run: injection finding replaces data discovery.
+    WorkflowGraph wf("Injection");
+    const auto a = wf.add_node(injfind);
+    const auto b = wf.add_node(tmpltbank);
+    const auto c = wf.add_node(inspiral);
+    const auto d = wf.add_node(thinca);
+    const auto e = wf.add_node(sire);
+    const auto f = wf.add_node(coire);
+    wf.add_edge(a, b);
+    wf.add_edge(b, c);
+    wf.add_edge(c, d);
+    wf.add_edge(d, e);
+    wf.add_edge(e, f);
+    ensemble.add_workflow(std::move(wf), 0.06 * options.load_factor);
+  }
+  ensemble.validate();
+  return ensemble;
+}
+
+}  // namespace miras::workflows

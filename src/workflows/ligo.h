@@ -1,0 +1,41 @@
+// LIGO Inspiral analysis ensemble: 4 workflow types (DataFind, CAT, Full,
+// Injection) over 9 task types (§VI-A1, after Juve et al., "Characterizing
+// and profiling scientific workflows", FGCS 2013). The Pegasus LIGO DAGs are
+// far larger than 9 nodes; the paper models each *task type* as one
+// microservice, so what matters is which types each workflow touches and in
+// what order. These graphs preserve the properties the evaluation exercises:
+// 9-dimensional state, deeper topologies than MSD, heavy sharing (Coire is
+// the shared tail stage of CAT/Full/Injection — the queue MIRAS learns to
+// temporarily starve, §VI-D), and a cheap high-volume DataFind workflow.
+#pragma once
+
+#include "workflows/ensemble.h"
+
+namespace miras::workflows {
+
+struct LigoOptions {
+  double load_factor = 1.0;
+  double service_cv = 0.6;
+};
+
+struct LigoTasks {
+  static constexpr std::size_t kDataFind = 0;   // mean 3 s
+  static constexpr std::size_t kTmpltBank = 1;  // 5 s
+  static constexpr std::size_t kInspiral = 2;   // 12 s
+  static constexpr std::size_t kThinca = 3;     // 4 s
+  static constexpr std::size_t kTrigBank = 4;   // 3 s
+  static constexpr std::size_t kSire = 5;       // 4 s
+  static constexpr std::size_t kCoire = 6;      // 10 s
+  static constexpr std::size_t kInca = 7;       // 5 s
+  static constexpr std::size_t kInjFind = 8;    // 4 s
+  static constexpr std::size_t kCount = 9;
+};
+
+/// Workflow ids in registration order: 0 = DataFind, 1 = CAT, 2 = Full,
+/// 3 = Injection.
+Ensemble make_ligo_ensemble(const LigoOptions& options = {});
+
+/// The consumer budget the paper uses for LIGO (§VI-A4).
+constexpr int kLigoConsumerBudget = 30;
+
+}  // namespace miras::workflows

@@ -1,0 +1,52 @@
+#include "workflows/msd.h"
+
+namespace miras::workflows {
+
+Ensemble make_msd_ensemble(const MsdOptions& options) {
+  Ensemble ensemble("msd");
+  const double cv = options.service_cv;
+  const auto ingest =
+      ensemble.add_task_type("Ingest", ServiceTimeModel::lognormal(2.0, cv));
+  const auto align =
+      ensemble.add_task_type("Align", ServiceTimeModel::lognormal(6.0, cv));
+  const auto segment =
+      ensemble.add_task_type("Segment", ServiceTimeModel::lognormal(8.0, cv));
+  const auto analyze =
+      ensemble.add_task_type("Analyze", ServiceTimeModel::lognormal(3.0, cv));
+
+  {
+    WorkflowGraph type1("Type1");
+    const auto a = type1.add_node(ingest);
+    const auto b = type1.add_node(align);
+    const auto c = type1.add_node(analyze);
+    type1.add_edge(a, b);
+    type1.add_edge(b, c);
+    ensemble.add_workflow(std::move(type1), 0.10 * options.load_factor);
+  }
+  {
+    WorkflowGraph type2("Type2");
+    const auto a = type2.add_node(ingest);
+    const auto b = type2.add_node(segment);
+    const auto c = type2.add_node(analyze);
+    type2.add_edge(a, b);
+    type2.add_edge(b, c);
+    ensemble.add_workflow(std::move(type2), 0.10 * options.load_factor);
+  }
+  {
+    // Fan-out/fan-in: both Align and Segment must finish before Analyze.
+    WorkflowGraph type3("Type3");
+    const auto a = type3.add_node(ingest);
+    const auto b = type3.add_node(align);
+    const auto c = type3.add_node(segment);
+    const auto d = type3.add_node(analyze);
+    type3.add_edge(a, b);
+    type3.add_edge(a, c);
+    type3.add_edge(b, d);
+    type3.add_edge(c, d);
+    ensemble.add_workflow(std::move(type3), 0.10 * options.load_factor);
+  }
+  ensemble.validate();
+  return ensemble;
+}
+
+}  // namespace miras::workflows

@@ -1,0 +1,37 @@
+// Material Science Data processing (MSD) ensemble: 3 workflow types over
+// 4 task types (§VI-A1, following the MONAD papers' 4SM material-science
+// image pipelines). The paper's production traces are not public, so the
+// DAG shapes and service-time scales here are synthetic equivalents chosen
+// to preserve the control-relevant structure: a shared ingest stage, two
+// alternative heavy processing stages, a shared final analysis stage, and a
+// third workflow type that exercises fan-out/fan-in parallelism.
+#pragma once
+
+#include "workflows/ensemble.h"
+
+namespace miras::workflows {
+
+struct MsdOptions {
+  /// Multiplies all steady-state Poisson arrival rates.
+  double load_factor = 1.0;
+  /// Coefficient of variation of the lognormal task service times.
+  double service_cv = 0.5;
+};
+
+/// Task-type ids within the MSD ensemble, in registration order.
+struct MsdTasks {
+  static constexpr std::size_t kIngest = 0;   // image ingest/denoise, mean 2 s
+  static constexpr std::size_t kAlign = 1;    // registration/alignment, 6 s
+  static constexpr std::size_t kSegment = 2;  // segmentation, 8 s
+  static constexpr std::size_t kAnalyze = 3;  // statistics/analysis, 3 s
+  static constexpr std::size_t kCount = 4;
+};
+
+/// Workflows: Type1 = Ingest->Align->Analyze, Type2 = Ingest->Segment->
+/// Analyze, Type3 = Ingest->(Align || Segment)->Analyze.
+Ensemble make_msd_ensemble(const MsdOptions& options = {});
+
+/// The consumer budget the paper uses for MSD (§VI-A4).
+constexpr int kMsdConsumerBudget = 14;
+
+}  // namespace miras::workflows

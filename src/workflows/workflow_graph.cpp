@@ -1,0 +1,109 @@
+#include "workflows/workflow_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/contracts.h"
+
+namespace miras::workflows {
+
+WorkflowGraph::WorkflowGraph(std::string name) : name_(std::move(name)) {}
+
+std::size_t WorkflowGraph::add_node(std::size_t task_type) {
+  node_task_types_.push_back(task_type);
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return node_task_types_.size() - 1;
+}
+
+void WorkflowGraph::add_edge(std::size_t from, std::size_t to) {
+  MIRAS_EXPECTS(from < num_nodes());
+  MIRAS_EXPECTS(to < num_nodes());
+  MIRAS_EXPECTS(from != to);
+  const auto& succ = successors_[from];
+  MIRAS_EXPECTS(std::find(succ.begin(), succ.end(), to) == succ.end());
+  successors_[from].push_back(to);
+  predecessors_[to].push_back(from);
+}
+
+std::size_t WorkflowGraph::task_type_of(std::size_t node) const {
+  MIRAS_EXPECTS(node < num_nodes());
+  return node_task_types_[node];
+}
+
+const std::vector<std::size_t>& WorkflowGraph::successors(
+    std::size_t node) const {
+  MIRAS_EXPECTS(node < num_nodes());
+  return successors_[node];
+}
+
+const std::vector<std::size_t>& WorkflowGraph::predecessors(
+    std::size_t node) const {
+  MIRAS_EXPECTS(node < num_nodes());
+  return predecessors_[node];
+}
+
+std::size_t WorkflowGraph::in_degree(std::size_t node) const {
+  return predecessors(node).size();
+}
+
+std::vector<std::size_t> WorkflowGraph::roots() const {
+  std::vector<std::size_t> result;
+  for (std::size_t n = 0; n < num_nodes(); ++n)
+    if (predecessors_[n].empty()) result.push_back(n);
+  return result;
+}
+
+std::vector<std::size_t> WorkflowGraph::sinks() const {
+  std::vector<std::size_t> result;
+  for (std::size_t n = 0; n < num_nodes(); ++n)
+    if (successors_[n].empty()) result.push_back(n);
+  return result;
+}
+
+std::vector<std::size_t> WorkflowGraph::topological_order() const {
+  std::vector<std::size_t> in_deg(num_nodes());
+  for (std::size_t n = 0; n < num_nodes(); ++n)
+    in_deg[n] = predecessors_[n].size();
+  std::queue<std::size_t> ready;
+  for (std::size_t n = 0; n < num_nodes(); ++n)
+    if (in_deg[n] == 0) ready.push(n);
+  std::vector<std::size_t> order;
+  order.reserve(num_nodes());
+  while (!ready.empty()) {
+    const std::size_t n = ready.front();
+    ready.pop();
+    order.push_back(n);
+    for (const std::size_t s : successors_[n])
+      if (--in_deg[s] == 0) ready.push(s);
+  }
+  MIRAS_ENSURES(order.size() == num_nodes());  // fails iff there is a cycle
+  return order;
+}
+
+bool WorkflowGraph::is_valid_dag() const {
+  if (num_nodes() == 0) return false;
+  try {
+    (void)topological_order();
+    return true;
+  } catch (const ContractViolation&) {
+    return false;
+  }
+}
+
+void WorkflowGraph::validate() const {
+  MIRAS_EXPECTS(num_nodes() > 0);
+  (void)topological_order();  // throws on a cycle
+}
+
+std::size_t WorkflowGraph::longest_path_length() const {
+  if (num_nodes() == 0) return 0;
+  const auto order = topological_order();
+  std::vector<std::size_t> depth(num_nodes(), 1);
+  for (const std::size_t n : order)
+    for (const std::size_t s : successors_[n])
+      depth[s] = std::max(depth[s], depth[n] + 1);
+  return *std::max_element(depth.begin(), depth.end());
+}
+
+}  // namespace miras::workflows

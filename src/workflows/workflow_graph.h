@@ -1,0 +1,60 @@
+// Workflow DAGs. Each workflow type is a directed acyclic graph whose nodes
+// are *occurrences* of task types (the same task type may appear in several
+// workflows — the microservice is shared, which is exactly the cascading-
+// effect coupling the paper studies). Nodes are indexed locally within the
+// workflow; each node carries the global task-type id it executes on.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace miras::workflows {
+
+class WorkflowGraph {
+ public:
+  explicit WorkflowGraph(std::string name);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_nodes() const { return node_task_types_.size(); }
+
+  /// Adds a node executing `task_type` (a global task-type id); returns the
+  /// new node's local index.
+  std::size_t add_node(std::size_t task_type);
+
+  /// Adds a dependency edge: `to` cannot start until `from` completed.
+  /// Rejects self-loops, out-of-range nodes, and duplicate edges.
+  void add_edge(std::size_t from, std::size_t to);
+
+  std::size_t task_type_of(std::size_t node) const;
+  const std::vector<std::size_t>& successors(std::size_t node) const;
+  const std::vector<std::size_t>& predecessors(std::size_t node) const;
+  std::size_t in_degree(std::size_t node) const;
+
+  /// Nodes with no predecessors (the tasks the workflow invoker publishes
+  /// first). Non-empty for a valid graph.
+  std::vector<std::size_t> roots() const;
+
+  /// Nodes with no successors.
+  std::vector<std::size_t> sinks() const;
+
+  /// Topological order; throws ContractViolation if the graph has a cycle.
+  std::vector<std::size_t> topological_order() const;
+
+  /// True iff the graph is a DAG with at least one node.
+  bool is_valid_dag() const;
+
+  /// Throws ContractViolation unless is_valid_dag().
+  void validate() const;
+
+  /// Length (in node count) of the longest path; 0 for an empty graph.
+  std::size_t longest_path_length() const;
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> node_task_types_;
+  std::vector<std::vector<std::size_t>> successors_;
+  std::vector<std::vector<std::size_t>> predecessors_;
+};
+
+}  // namespace miras::workflows

@@ -1,0 +1,155 @@
+#include "sim/consumer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+namespace {
+
+// Drives `count` start-ups to readiness.
+void make_ready(ConsumerPool& pool, int count) {
+  const int startups = pool.set_target(pool.provisioned() + count);
+  EXPECT_EQ(startups, count);
+  for (int i = 0; i < count; ++i) EXPECT_TRUE(pool.on_consumer_ready());
+}
+
+TEST(ConsumerPool, StartsEmpty) {
+  ConsumerPool pool;
+  EXPECT_EQ(pool.idle(), 0);
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.provisioned(), 0);
+}
+
+TEST(ConsumerPool, ScaleUpRequiresStartups) {
+  ConsumerPool pool;
+  EXPECT_EQ(pool.set_target(3), 3);
+  EXPECT_EQ(pool.starting(), 3);
+  EXPECT_EQ(pool.idle(), 0);
+  EXPECT_EQ(pool.provisioned(), 3);
+}
+
+TEST(ConsumerPool, ConsumersBecomeIdleWhenReady) {
+  ConsumerPool pool;
+  make_ready(pool, 2);
+  EXPECT_EQ(pool.idle(), 2);
+  EXPECT_EQ(pool.starting(), 0);
+}
+
+TEST(ConsumerPool, DispatchAndComplete) {
+  ConsumerPool pool;
+  make_ready(pool, 1);
+  pool.on_dispatch();
+  EXPECT_EQ(pool.idle(), 0);
+  EXPECT_EQ(pool.busy(), 1);
+  EXPECT_TRUE(pool.on_task_complete());
+  EXPECT_EQ(pool.idle(), 1);
+  EXPECT_EQ(pool.busy(), 0);
+}
+
+TEST(ConsumerPool, DispatchWithoutIdleThrows) {
+  ConsumerPool pool;
+  EXPECT_THROW(pool.on_dispatch(), ContractViolation);
+}
+
+TEST(ConsumerPool, ScaleDownKillsIdleFirst) {
+  ConsumerPool pool;
+  make_ready(pool, 4);
+  EXPECT_EQ(pool.set_target(1), 0);
+  EXPECT_EQ(pool.idle(), 1);
+  EXPECT_EQ(pool.provisioned(), 1);
+}
+
+TEST(ConsumerPool, ScaleDownCancelsStartups) {
+  ConsumerPool pool;
+  EXPECT_EQ(pool.set_target(3), 3);  // 3 starting
+  EXPECT_EQ(pool.set_target(1), 0);  // cancel 2
+  EXPECT_EQ(pool.starting(), 1);
+  EXPECT_EQ(pool.provisioned(), 1);
+  // The first two ready-events are swallowed by cancellation tokens.
+  EXPECT_FALSE(pool.on_consumer_ready());
+  EXPECT_FALSE(pool.on_consumer_ready());
+  EXPECT_TRUE(pool.on_consumer_ready());
+  EXPECT_EQ(pool.idle(), 1);
+}
+
+TEST(ConsumerPool, ScaleDownDrainsBusyGracefully) {
+  ConsumerPool pool;
+  make_ready(pool, 2);
+  pool.on_dispatch();
+  pool.on_dispatch();  // both busy
+  EXPECT_EQ(pool.set_target(0), 0);
+  EXPECT_EQ(pool.draining(), 2);
+  EXPECT_EQ(pool.busy(), 2);  // still finishing their tasks
+  EXPECT_EQ(pool.provisioned(), 0);
+  // Draining consumers terminate on completion instead of going idle.
+  EXPECT_FALSE(pool.on_task_complete());
+  EXPECT_FALSE(pool.on_task_complete());
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.idle(), 0);
+}
+
+TEST(ConsumerPool, RemovalPreferenceOrderIdleStartingBusy) {
+  ConsumerPool pool;
+  make_ready(pool, 2);         // 2 idle
+  pool.on_dispatch();          // 1 idle, 1 busy
+  EXPECT_EQ(pool.set_target(4), 2);  // + 2 starting
+  // Now: 1 idle, 1 busy, 2 starting = 4 provisioned. Scale to 1:
+  EXPECT_EQ(pool.set_target(1), 0);
+  EXPECT_EQ(pool.idle(), 0);       // idle killed first
+  EXPECT_EQ(pool.starting(), 0);   // startups cancelled second
+  EXPECT_EQ(pool.busy(), 1);       // busy survives (not draining: target 1)
+  EXPECT_EQ(pool.draining(), 0);
+  EXPECT_EQ(pool.provisioned(), 1);
+}
+
+TEST(ConsumerPool, ScaleUpReactivatesCancelledStartups) {
+  ConsumerPool pool;
+  EXPECT_EQ(pool.set_target(2), 2);
+  EXPECT_EQ(pool.set_target(0), 0);  // cancel both
+  // Scaling back up re-activates the cancelled in-flight startups without
+  // scheduling fresh ones.
+  EXPECT_EQ(pool.set_target(2), 0);
+  EXPECT_EQ(pool.starting(), 2);
+  EXPECT_TRUE(pool.on_consumer_ready());
+  EXPECT_TRUE(pool.on_consumer_ready());
+  EXPECT_EQ(pool.idle(), 2);
+}
+
+TEST(ConsumerPool, DrainingConsumerStillCountsAsBusyWip) {
+  ConsumerPool pool;
+  make_ready(pool, 1);
+  pool.on_dispatch();
+  pool.set_target(0);
+  // WIP accounting uses busy(), which must include the draining consumer's
+  // in-flight task.
+  EXPECT_EQ(pool.busy(), 1);
+}
+
+TEST(ConsumerPool, TargetIsReachedExactly) {
+  ConsumerPool pool;
+  for (const int target : {5, 2, 7, 0, 3}) {
+    const int startups = pool.set_target(target);
+    for (int i = 0; i < startups; ++i) pool.on_consumer_ready();
+    EXPECT_EQ(pool.provisioned(), target);
+  }
+}
+
+TEST(ConsumerPool, NegativeTargetThrows) {
+  ConsumerPool pool;
+  EXPECT_THROW(pool.set_target(-1), ContractViolation);
+}
+
+TEST(ConsumerPool, ClearDropsEverything) {
+  ConsumerPool pool;
+  make_ready(pool, 3);
+  pool.on_dispatch();
+  pool.clear();
+  EXPECT_EQ(pool.idle(), 0);
+  EXPECT_EQ(pool.busy(), 0);
+  EXPECT_EQ(pool.starting(), 0);
+  EXPECT_EQ(pool.provisioned(), 0);
+}
+
+}  // namespace
+}  // namespace miras::sim

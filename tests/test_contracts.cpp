@@ -1,0 +1,44 @@
+#include "common/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace miras {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  EXPECT_NO_THROW(MIRAS_EXPECTS(1 + 1 == 2));
+}
+
+TEST(Contracts, ExpectsThrowsOnFalse) {
+  EXPECT_THROW(MIRAS_EXPECTS(false), ContractViolation);
+}
+
+TEST(Contracts, EnsuresThrowsOnFalse) {
+  EXPECT_THROW(MIRAS_ENSURES(false), ContractViolation);
+}
+
+TEST(Contracts, AssertThrowsOnFalse) {
+  EXPECT_THROW(MIRAS_ASSERT(false), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+  try {
+    MIRAS_EXPECTS(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(MIRAS_EXPECTS(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace miras

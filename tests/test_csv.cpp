@@ -1,0 +1,67 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace miras {
+namespace {
+
+TEST(Table, CsvOutput) {
+  Table table({"step", "reward"});
+  table.add_row({"1", "-3.5"});
+  table.add_row({"2", "-1.0"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "step,reward\n1,-3.5\n2,-1.0\n");
+}
+
+TEST(Table, NumericRowFormatting) {
+  Table table({"a", "b"});
+  table.add_numeric_row({1.23456, -2.0}, 2);
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b\n1.23,-2.00\n");
+}
+
+TEST(Table, AlignedOutputPadsColumns) {
+  Table table({"x", "longheader"});
+  table.add_row({"12345", "1"});
+  std::ostringstream out;
+  table.write_aligned(out);
+  const std::string text = out.str();
+  // Both rows must have equal length lines (aligned columns).
+  const auto newline = text.find('\n');
+  const std::string line1 = text.substr(0, newline);
+  const std::string line2 = text.substr(newline + 1, text.size() - newline - 2);
+  EXPECT_EQ(line1.size(), line2.size());
+}
+
+TEST(Table, RowArityEnforced) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ContractViolation);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), ContractViolation);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table table({"a", "b", "c"});
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.add_row({"1", "2", "3"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(3.14159, 3), "3.142");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace miras

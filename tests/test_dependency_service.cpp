@@ -1,0 +1,146 @@
+#include "sim/dependency_service.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "workflows/ensemble.h"
+
+namespace miras::sim {
+namespace {
+
+using workflows::Ensemble;
+using workflows::ServiceTimeModel;
+using workflows::WorkflowGraph;
+
+// Ensemble with one chain workflow (A->B->C), one diamond (A->(B,C)->D on
+// shared task types), and a single-node workflow.
+Ensemble make_test_ensemble() {
+  Ensemble ensemble("test");
+  const auto a = ensemble.add_task_type("A", ServiceTimeModel::deterministic(1.0));
+  const auto b = ensemble.add_task_type("B", ServiceTimeModel::deterministic(1.0));
+  const auto c = ensemble.add_task_type("C", ServiceTimeModel::deterministic(1.0));
+  const auto d = ensemble.add_task_type("D", ServiceTimeModel::deterministic(1.0));
+
+  WorkflowGraph chain("chain");
+  const auto n0 = chain.add_node(a);
+  const auto n1 = chain.add_node(b);
+  const auto n2 = chain.add_node(c);
+  chain.add_edge(n0, n1);
+  chain.add_edge(n1, n2);
+  ensemble.add_workflow(std::move(chain), 0.0);
+
+  WorkflowGraph diamond("diamond");
+  const auto m0 = diamond.add_node(a);
+  const auto m1 = diamond.add_node(b);
+  const auto m2 = diamond.add_node(c);
+  const auto m3 = diamond.add_node(d);
+  diamond.add_edge(m0, m1);
+  diamond.add_edge(m0, m2);
+  diamond.add_edge(m1, m3);
+  diamond.add_edge(m2, m3);
+  ensemble.add_workflow(std::move(diamond), 0.0);
+
+  WorkflowGraph single("single");
+  single.add_node(d);
+  ensemble.add_workflow(std::move(single), 0.0);
+
+  return ensemble;
+}
+
+class DependencyServiceTest : public ::testing::Test {
+ protected:
+  DependencyServiceTest() : ensemble_(make_test_ensemble()), tds_(&ensemble_) {}
+  Ensemble ensemble_;
+  DependencyService tds_;
+};
+
+TEST_F(DependencyServiceTest, ChainStartsAtRoot) {
+  const auto inst = tds_.create_instance(0, 1.5);
+  EXPECT_EQ(inst.initial_nodes, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(tds_.live_instances(), 1u);
+}
+
+TEST_F(DependencyServiceTest, ChainAdvancesOneNodeAtATime) {
+  const auto inst = tds_.create_instance(0, 0.0);
+  auto r1 = tds_.on_task_complete(inst.id, 0);
+  EXPECT_EQ(r1.ready_nodes, (std::vector<std::size_t>{1}));
+  EXPECT_FALSE(r1.workflow_complete);
+  auto r2 = tds_.on_task_complete(inst.id, 1);
+  EXPECT_EQ(r2.ready_nodes, (std::vector<std::size_t>{2}));
+  auto r3 = tds_.on_task_complete(inst.id, 2);
+  EXPECT_TRUE(r3.ready_nodes.empty());
+  EXPECT_TRUE(r3.workflow_complete);
+  EXPECT_EQ(tds_.live_instances(), 0u);
+}
+
+TEST_F(DependencyServiceTest, CompletionCarriesArrivalTimeAndType) {
+  const auto inst = tds_.create_instance(2, 42.5);
+  const auto result = tds_.on_task_complete(inst.id, 0);
+  EXPECT_TRUE(result.workflow_complete);
+  EXPECT_EQ(result.workflow_type, 2u);
+  EXPECT_DOUBLE_EQ(result.arrival_time, 42.5);
+}
+
+TEST_F(DependencyServiceTest, DiamondFanOut) {
+  const auto inst = tds_.create_instance(1, 0.0);
+  const auto result = tds_.on_task_complete(inst.id, 0);
+  EXPECT_EQ(result.ready_nodes, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST_F(DependencyServiceTest, DiamondFanInWaitsForBothBranches) {
+  const auto inst = tds_.create_instance(1, 0.0);
+  (void)tds_.on_task_complete(inst.id, 0);
+  const auto after_b = tds_.on_task_complete(inst.id, 1);
+  EXPECT_TRUE(after_b.ready_nodes.empty());  // join not satisfied yet
+  const auto after_c = tds_.on_task_complete(inst.id, 2);
+  EXPECT_EQ(after_c.ready_nodes, (std::vector<std::size_t>{3}));
+  const auto done = tds_.on_task_complete(inst.id, 3);
+  EXPECT_TRUE(done.workflow_complete);
+}
+
+TEST_F(DependencyServiceTest, JoinOrderDoesNotMatter) {
+  const auto inst = tds_.create_instance(1, 0.0);
+  (void)tds_.on_task_complete(inst.id, 0);
+  const auto after_c = tds_.on_task_complete(inst.id, 2);
+  EXPECT_TRUE(after_c.ready_nodes.empty());
+  const auto after_b = tds_.on_task_complete(inst.id, 1);
+  EXPECT_EQ(after_b.ready_nodes, (std::vector<std::size_t>{3}));
+}
+
+TEST_F(DependencyServiceTest, ConcurrentInstancesAreIndependent) {
+  const auto first = tds_.create_instance(0, 0.0);
+  const auto second = tds_.create_instance(0, 1.0);
+  EXPECT_NE(first.id, second.id);
+  (void)tds_.on_task_complete(first.id, 0);
+  (void)tds_.on_task_complete(first.id, 1);
+  // Completing the first instance fully must not advance the second.
+  const auto done = tds_.on_task_complete(first.id, 2);
+  EXPECT_TRUE(done.workflow_complete);
+  EXPECT_EQ(tds_.live_instances(), 1u);
+  const auto r = tds_.on_task_complete(second.id, 0);
+  EXPECT_EQ(r.ready_nodes, (std::vector<std::size_t>{1}));
+}
+
+TEST_F(DependencyServiceTest, UnknownInstanceThrows) {
+  EXPECT_THROW(tds_.on_task_complete(9999, 0), ContractViolation);
+}
+
+TEST_F(DependencyServiceTest, CompletedInstanceIsForgotten) {
+  const auto inst = tds_.create_instance(2, 0.0);
+  (void)tds_.on_task_complete(inst.id, 0);
+  EXPECT_THROW(tds_.on_task_complete(inst.id, 0), ContractViolation);
+}
+
+TEST_F(DependencyServiceTest, InvalidWorkflowTypeThrows) {
+  EXPECT_THROW(tds_.create_instance(99, 0.0), ContractViolation);
+}
+
+TEST_F(DependencyServiceTest, ClearDropsInstances) {
+  const auto inst = tds_.create_instance(0, 0.0);
+  tds_.clear();
+  EXPECT_EQ(tds_.live_instances(), 0u);
+  EXPECT_THROW(tds_.on_task_complete(inst.id, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace miras::sim

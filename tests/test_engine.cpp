@@ -1,0 +1,118 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+namespace {
+
+TEST(EventQueue, StartsAtZero) {
+  EventQueue events;
+  EXPECT_DOUBLE_EQ(events.now(), 0.0);
+  EXPECT_EQ(events.pending_events(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  events.schedule(3.0, [&] { order.push_back(3); });
+  events.schedule(1.0, [&] { order.push_back(1); });
+  events.schedule(2.0, [&] { order.push_back(2); });
+  events.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(events.now(), 10.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue events;
+  std::vector<int> order;
+  events.schedule(5.0, [&] { order.push_back(1); });
+  events.schedule(5.0, [&] { order.push_back(2); });
+  events.schedule(5.0, [&] { order.push_back(3); });
+  events.run_until(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule(1.0, [&] { ++fired; });
+  events.schedule(2.0, [&] { ++fired; });
+  events.schedule(2.0001, [&] { ++fired; });
+  events.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(events.pending_events(), 1u);
+  events.run_until(3.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, HandlersCanScheduleMoreEvents) {
+  EventQueue events;
+  int chain = 0;
+  // Each handler schedules the next one 1s later: a 5-link chain.
+  std::function<void()> link = [&] {
+    ++chain;
+    if (chain < 5) events.schedule_in(1.0, link);
+  };
+  events.schedule(1.0, link);
+  events.run_until(10.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(EventQueue, HandlerSchedulingAtCurrentTimeRunsInSameSweep) {
+  EventQueue events;
+  bool nested_ran = false;
+  events.schedule(1.0, [&] {
+    events.schedule(events.now(), [&] { nested_ran = true; });
+  });
+  events.run_until(1.0);
+  EXPECT_TRUE(nested_ran);
+}
+
+TEST(EventQueue, ClockIsMonotonicInsideHandlers) {
+  EventQueue events;
+  std::vector<SimTime> times;
+  for (const double t : {4.0, 1.0, 3.0, 2.0})
+    events.schedule(t, [&events, &times] { times.push_back(events.now()); });
+  events.run_until(5.0);
+  for (std::size_t i = 1; i < times.size(); ++i)
+    EXPECT_GE(times[i], times[i - 1]);
+}
+
+TEST(EventQueue, SchedulingInPastThrows) {
+  EventQueue events;
+  events.schedule(2.0, [] {});
+  events.run_until(5.0);
+  EXPECT_THROW(events.schedule(3.0, [] {}), ContractViolation);
+  EXPECT_THROW(events.schedule_in(-1.0, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, RunUntilBackwardsThrows) {
+  EventQueue events;
+  events.run_until(5.0);
+  EXPECT_THROW(events.run_until(4.0), ContractViolation);
+}
+
+TEST(EventQueue, ResetDropsEventsAndRewindsClock) {
+  EventQueue events;
+  int fired = 0;
+  events.schedule(1.0, [&] { ++fired; });
+  events.reset();
+  EXPECT_DOUBLE_EQ(events.now(), 0.0);
+  EXPECT_EQ(events.pending_events(), 0u);
+  events.run_until(10.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountsExecutedEvents) {
+  EventQueue events;
+  for (int i = 0; i < 7; ++i) events.schedule(static_cast<double>(i), [] {});
+  events.run_until(100.0);
+  EXPECT_EQ(events.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace miras::sim

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.h"
+#include "workflows/ensemble.h"
+#include "workflows/ligo.h"
+#include "workflows/msd.h"
+
+namespace miras::workflows {
+namespace {
+
+TEST(Ensemble, BuildAndQuery) {
+  Ensemble ensemble("e");
+  const auto a = ensemble.add_task_type("A", ServiceTimeModel::deterministic(2.0));
+  WorkflowGraph wf("w");
+  wf.add_node(a);
+  ensemble.add_workflow(std::move(wf), 0.5);
+  EXPECT_EQ(ensemble.num_task_types(), 1u);
+  EXPECT_EQ(ensemble.num_workflows(), 1u);
+  EXPECT_EQ(ensemble.task_type(0).name, "A");
+  EXPECT_DOUBLE_EQ(ensemble.arrival_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(ensemble.offered_load(), 1.0);  // 0.5/s * 2s
+}
+
+TEST(Ensemble, RejectsWorkflowWithUnknownTaskType) {
+  Ensemble ensemble("e");
+  ensemble.add_task_type("A", ServiceTimeModel::deterministic(1.0));
+  WorkflowGraph wf("w");
+  wf.add_node(7);  // no such task type
+  EXPECT_THROW(ensemble.add_workflow(std::move(wf), 1.0), ContractViolation);
+}
+
+TEST(Ensemble, RejectsCyclicWorkflow) {
+  Ensemble ensemble("e");
+  const auto a = ensemble.add_task_type("A", ServiceTimeModel::deterministic(1.0));
+  WorkflowGraph wf("w");
+  const auto x = wf.add_node(a);
+  const auto y = wf.add_node(a);
+  wf.add_edge(x, y);
+  wf.add_edge(y, x);
+  EXPECT_THROW(ensemble.add_workflow(std::move(wf), 1.0), ContractViolation);
+}
+
+TEST(Ensemble, ScaleArrivalRates) {
+  Ensemble ensemble("e");
+  const auto a = ensemble.add_task_type("A", ServiceTimeModel::deterministic(1.0));
+  WorkflowGraph wf("w");
+  wf.add_node(a);
+  ensemble.add_workflow(std::move(wf), 2.0);
+  ensemble.scale_arrival_rates(1.5);
+  EXPECT_DOUBLE_EQ(ensemble.arrival_rate(0), 3.0);
+  EXPECT_THROW(ensemble.scale_arrival_rates(0.0), ContractViolation);
+}
+
+TEST(Msd, MatchesPaperDimensions) {
+  const Ensemble msd = make_msd_ensemble();
+  EXPECT_EQ(msd.num_task_types(), MsdTasks::kCount);  // 4 task types
+  EXPECT_EQ(msd.num_workflows(), 3u);                 // Type1..Type3
+  EXPECT_NO_THROW(msd.validate());
+}
+
+TEST(Msd, AllWorkflowsShareIngestAndAnalyze) {
+  const Ensemble msd = make_msd_ensemble();
+  for (std::size_t w = 0; w < msd.num_workflows(); ++w) {
+    std::set<std::size_t> used;
+    for (std::size_t n = 0; n < msd.workflow(w).num_nodes(); ++n)
+      used.insert(msd.workflow(w).task_type_of(n));
+    EXPECT_TRUE(used.count(MsdTasks::kIngest));
+    EXPECT_TRUE(used.count(MsdTasks::kAnalyze));
+  }
+}
+
+TEST(Msd, Type3HasFanOutFanIn) {
+  const Ensemble msd = make_msd_ensemble();
+  const WorkflowGraph& type3 = msd.workflow(2);
+  EXPECT_EQ(type3.num_nodes(), 4u);
+  // Root fans out to two branches joining at the sink.
+  EXPECT_EQ(type3.successors(type3.roots().front()).size(), 2u);
+  EXPECT_EQ(type3.in_degree(type3.sinks().front()), 2u);
+}
+
+TEST(Msd, BudgetExceedsOfferedLoad) {
+  // The consumer constraint must be feasible (§VI-A4: sufficient resources
+  // exist) but tight enough that allocation matters.
+  const Ensemble msd = make_msd_ensemble();
+  EXPECT_LT(msd.offered_load(), kMsdConsumerBudget);
+  EXPECT_GT(msd.offered_load(), 0.15 * kMsdConsumerBudget);
+}
+
+TEST(Msd, LoadFactorScalesRates) {
+  MsdOptions options;
+  options.load_factor = 2.0;
+  const Ensemble heavy = make_msd_ensemble(options);
+  const Ensemble base = make_msd_ensemble();
+  for (std::size_t w = 0; w < base.num_workflows(); ++w)
+    EXPECT_DOUBLE_EQ(heavy.arrival_rate(w), 2.0 * base.arrival_rate(w));
+}
+
+TEST(Ligo, MatchesPaperDimensions) {
+  const Ensemble ligo = make_ligo_ensemble();
+  EXPECT_EQ(ligo.num_task_types(), LigoTasks::kCount);  // 9 task types
+  EXPECT_EQ(ligo.num_workflows(), 4u);  // DataFind, CAT, Full, Injection
+  EXPECT_NO_THROW(ligo.validate());
+}
+
+TEST(Ligo, WorkflowNames) {
+  const Ensemble ligo = make_ligo_ensemble();
+  EXPECT_EQ(ligo.workflow(0).name(), "DataFind");
+  EXPECT_EQ(ligo.workflow(1).name(), "CAT");
+  EXPECT_EQ(ligo.workflow(2).name(), "Full");
+  EXPECT_EQ(ligo.workflow(3).name(), "Injection");
+}
+
+TEST(Ligo, CoireSharedByCatFullInjection) {
+  // §VI-D: Coire is the task MIRAS learns to park; it must be the shared
+  // tail stage of CAT, Full, and Injection.
+  const Ensemble ligo = make_ligo_ensemble();
+  for (const std::size_t w : {1u, 2u, 3u}) {
+    bool has_coire = false;
+    for (std::size_t n = 0; n < ligo.workflow(w).num_nodes(); ++n)
+      if (ligo.workflow(w).task_type_of(n) == LigoTasks::kCoire)
+        has_coire = true;
+    EXPECT_TRUE(has_coire) << "workflow " << ligo.workflow(w).name();
+  }
+}
+
+TEST(Ligo, EveryTaskTypeIsUsed) {
+  const Ensemble ligo = make_ligo_ensemble();
+  std::set<std::size_t> used;
+  for (std::size_t w = 0; w < ligo.num_workflows(); ++w)
+    for (std::size_t n = 0; n < ligo.workflow(w).num_nodes(); ++n)
+      used.insert(ligo.workflow(w).task_type_of(n));
+  EXPECT_EQ(used.size(), LigoTasks::kCount);
+}
+
+TEST(Ligo, DeeperTopologyThanMsd) {
+  const Ensemble msd = make_msd_ensemble();
+  const Ensemble ligo = make_ligo_ensemble();
+  std::size_t msd_depth = 0, ligo_depth = 0;
+  for (std::size_t w = 0; w < msd.num_workflows(); ++w)
+    msd_depth = std::max(msd_depth, msd.workflow(w).longest_path_length());
+  for (std::size_t w = 0; w < ligo.num_workflows(); ++w)
+    ligo_depth = std::max(ligo_depth, ligo.workflow(w).longest_path_length());
+  EXPECT_GT(ligo_depth, msd_depth);
+}
+
+TEST(Ligo, BudgetExceedsOfferedLoad) {
+  const Ensemble ligo = make_ligo_ensemble();
+  EXPECT_LT(ligo.offered_load(), kLigoConsumerBudget);
+  EXPECT_GT(ligo.offered_load(), 0.15 * kLigoConsumerBudget);
+}
+
+TEST(Ligo, FullWorkflowHasParallelBranch) {
+  const Ensemble ligo = make_ligo_ensemble();
+  const WorkflowGraph& full = ligo.workflow(2);
+  bool has_fan_out = false;
+  for (std::size_t n = 0; n < full.num_nodes(); ++n)
+    if (full.successors(n).size() >= 2) has_fan_out = true;
+  EXPECT_TRUE(has_fan_out);
+}
+
+}  // namespace
+}  // namespace miras::workflows

@@ -1,0 +1,159 @@
+#include "nn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "nn/grad_check.h"
+
+namespace miras::nn {
+namespace {
+
+TEST(DenseLayer, ForwardKnownValues) {
+  Rng rng(1);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  layer.weights() = Tensor::from_rows({{1.0, 2.0}, {3.0, 4.0}});
+  layer.bias() = Tensor::row_vector({0.5, -0.5});
+  const Tensor out = layer.forward(Tensor::from_rows({{1.0, 1.0}}));
+  EXPECT_DOUBLE_EQ(out(0, 0), 4.5);   // 1*1 + 1*3 + 0.5
+  EXPECT_DOUBLE_EQ(out(0, 1), 5.5);   // 1*2 + 1*4 - 0.5
+}
+
+TEST(DenseLayer, ForwardConstMatchesForward) {
+  Rng rng(2);
+  DenseLayer layer(3, 4, Activation::kTanh, rng);
+  const Tensor x = Tensor::from_rows({{0.1, -0.2, 0.3}, {1.0, 2.0, -1.0}});
+  const Tensor a = layer.forward(x);
+  const Tensor b = layer.forward_const(x);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      EXPECT_DOUBLE_EQ(a(r, c), b(r, c));
+}
+
+TEST(DenseLayer, InputDimChecked) {
+  Rng rng(3);
+  DenseLayer layer(3, 2, Activation::kRelu, rng);
+  EXPECT_THROW(layer.forward(Tensor(1, 4)), ContractViolation);
+}
+
+TEST(DenseLayer, InputGradientMatchesFiniteDifference) {
+  Rng rng(4);
+  DenseLayer layer(3, 2, Activation::kTanh, rng);
+  const Tensor x = Tensor::from_rows({{0.2, -0.4, 0.7}, {1.1, 0.0, -0.3}});
+  const Tensor weights = Tensor::from_rows({{1.0, -1.0}, {0.5, 2.0}});
+
+  auto f = [&](const Tensor& input) {
+    return layer.forward_const(input).hadamard(weights).sum();
+  };
+  layer.zero_grad();
+  (void)layer.forward(x);
+  const Tensor grad_input = layer.backward(weights);
+  EXPECT_LT(max_gradient_error(f, x, grad_input), 1e-5);
+}
+
+TEST(DenseLayer, WeightGradientMatchesFiniteDifference) {
+  Rng rng(5);
+  DenseLayer layer(2, 3, Activation::kSigmoid, rng);
+  const Tensor x = Tensor::from_rows({{0.5, -1.0}, {0.2, 0.9}});
+  const Tensor out_weights =
+      Tensor::from_rows({{1.0, 0.5, -1.0}, {-0.5, 2.0, 1.0}});
+
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(out_weights);
+  const Tensor analytic = layer.weight_grad();
+
+  auto f = [&](const Tensor& w) {
+    DenseLayer probe(layer.weights().rows(), layer.weights().cols(),
+                     layer.activation(), rng);
+    probe.weights() = w;
+    probe.bias() = layer.bias();
+    return probe.forward_const(x).hadamard(out_weights).sum();
+  };
+  EXPECT_LT(max_gradient_error(f, layer.weights(), analytic), 1e-5);
+}
+
+TEST(DenseLayer, BiasGradientMatchesFiniteDifference) {
+  Rng rng(6);
+  DenseLayer layer(2, 2, Activation::kTanh, rng);
+  const Tensor x = Tensor::from_rows({{0.3, 0.8}, {-0.6, 0.1}});
+  const Tensor out_weights = Tensor::from_rows({{2.0, -1.0}, {1.0, 1.0}});
+
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(out_weights);
+  const Tensor analytic = layer.bias_grad();
+
+  auto f = [&](const Tensor& b) {
+    DenseLayer probe(layer.weights().rows(), layer.weights().cols(),
+                     layer.activation(), rng);
+    probe.weights() = layer.weights();
+    probe.bias() = b;
+    return probe.forward_const(x).hadamard(out_weights).sum();
+  };
+  EXPECT_LT(max_gradient_error(f, layer.bias(), analytic), 1e-5);
+}
+
+TEST(DenseLayer, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(7);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  const Tensor x = Tensor::from_rows({{1.0, 2.0}});
+  const Tensor g = Tensor::from_rows({{1.0, 1.0}});
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  const Tensor after_one = layer.weight_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(g);
+  for (std::size_t r = 0; r < after_one.rows(); ++r)
+    for (std::size_t c = 0; c < after_one.cols(); ++c)
+      EXPECT_DOUBLE_EQ(layer.weight_grad()(r, c), 2.0 * after_one(r, c));
+}
+
+TEST(DenseLayer, ZeroGradResets) {
+  Rng rng(8);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  (void)layer.forward(Tensor::from_rows({{1.0, 1.0}}));
+  (void)layer.backward(Tensor::from_rows({{1.0, 1.0}}));
+  layer.zero_grad();
+  EXPECT_DOUBLE_EQ(layer.weight_grad().norm(), 0.0);
+  EXPECT_DOUBLE_EQ(layer.bias_grad().norm(), 0.0);
+}
+
+TEST(DenseLayer, HeInitialisationScale) {
+  Rng rng(9);
+  DenseLayer layer(1000, 50, Activation::kRelu, rng);
+  double sum_sq = 0.0;
+  const Tensor& w = layer.weights();
+  for (std::size_t i = 0; i < w.size(); ++i) sum_sq += w.data()[i] * w.data()[i];
+  const double variance = sum_sq / static_cast<double>(w.size());
+  EXPECT_NEAR(variance, 2.0 / 1000.0, 2.0 / 1000.0 * 0.15);
+}
+
+TEST(DenseLayer, BiasStartsAtZero) {
+  Rng rng(10);
+  DenseLayer layer(4, 4, Activation::kRelu, rng);
+  EXPECT_DOUBLE_EQ(layer.bias().norm(), 0.0);
+}
+
+TEST(DenseLayer, ParameterCount) {
+  Rng rng(11);
+  DenseLayer layer(5, 7, Activation::kRelu, rng);
+  EXPECT_EQ(layer.parameter_count(), 5u * 7u + 7u);
+}
+
+TEST(DenseLayer, ExplicitParameterConstructor) {
+  DenseLayer layer(Tensor::from_rows({{1.0}, {2.0}}),
+                   Tensor::row_vector({3.0}), Activation::kIdentity);
+  EXPECT_EQ(layer.in_dim(), 2u);
+  EXPECT_EQ(layer.out_dim(), 1u);
+  const Tensor out = layer.forward_const(Tensor::from_rows({{1.0, 1.0}}));
+  EXPECT_DOUBLE_EQ(out(0, 0), 6.0);
+}
+
+TEST(DenseLayer, ExplicitConstructorValidatesBias) {
+  EXPECT_THROW(DenseLayer(Tensor(2, 3), Tensor(1, 2), Activation::kRelu),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace miras::nn

@@ -1,0 +1,132 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace miras::nn {
+namespace {
+
+// A single 1x1 identity "network" makes optimiser math directly observable.
+std::vector<DenseLayer> scalar_layer(double weight, double grad) {
+  std::vector<DenseLayer> layers;
+  layers.emplace_back(Tensor::from_rows({{weight}}), Tensor(1, 1),
+                      Activation::kIdentity);
+  layers[0].weight_grad()(0, 0) = grad;
+  return layers;
+}
+
+TEST(Sgd, PlainStep) {
+  auto layers = scalar_layer(1.0, 0.5);
+  SgdOptimizer opt(0.1);
+  opt.step(layers);
+  EXPECT_NEAR(layers[0].weights()(0, 0), 1.0 - 0.1 * 0.5, 1e-12);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  auto layers = scalar_layer(0.0, 1.0);
+  SgdOptimizer opt(0.1, 0.9);
+  opt.step(layers);  // v = -0.1, w = -0.1
+  layers[0].weight_grad()(0, 0) = 1.0;
+  opt.step(layers);  // v = 0.9*-0.1 - 0.1 = -0.19, w = -0.29
+  EXPECT_NEAR(layers[0].weights()(0, 0), -0.29, 1e-12);
+}
+
+TEST(Sgd, InvalidHyperparameters) {
+  EXPECT_THROW(SgdOptimizer(0.0), ContractViolation);
+  EXPECT_THROW(SgdOptimizer(0.1, 1.0), ContractViolation);
+}
+
+TEST(Adam, FirstStepIsSignedLearningRate) {
+  // With bias correction, the first Adam step is lr * g / (|g| + eps').
+  auto layers = scalar_layer(0.0, 123.0);
+  AdamOptimizer opt(0.01);
+  opt.step(layers);
+  EXPECT_NEAR(layers[0].weights()(0, 0), -0.01, 1e-6);
+}
+
+TEST(Adam, NegativeGradientMovesUp) {
+  auto layers = scalar_layer(0.0, -7.0);
+  AdamOptimizer opt(0.01);
+  opt.step(layers);
+  EXPECT_NEAR(layers[0].weights()(0, 0), 0.01, 1e-6);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // Minimise f(w) = (w - 3)^2 using analytic gradient 2(w - 3).
+  auto layers = scalar_layer(0.0, 0.0);
+  AdamOptimizer opt(0.05);
+  for (int i = 0; i < 2000; ++i) {
+    const double w = layers[0].weights()(0, 0);
+    layers[0].weight_grad()(0, 0) = 2.0 * (w - 3.0);
+    opt.step(layers);
+  }
+  EXPECT_NEAR(layers[0].weights()(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, ResetClearsMoments) {
+  auto layers = scalar_layer(0.0, 1.0);
+  AdamOptimizer opt(0.01);
+  opt.step(layers);
+  opt.reset();
+  // After reset the next step behaves like a first step again.
+  auto fresh = scalar_layer(0.0, 1.0);
+  AdamOptimizer opt2(0.01);
+  opt2.step(fresh);
+  layers[0].weights()(0, 0) = 0.0;
+  layers[0].weight_grad()(0, 0) = 1.0;
+  opt.step(layers);
+  EXPECT_NEAR(layers[0].weights()(0, 0), fresh[0].weights()(0, 0), 1e-9);
+}
+
+TEST(Adam, InvalidHyperparameters) {
+  EXPECT_THROW(AdamOptimizer(0.0), ContractViolation);
+  EXPECT_THROW(AdamOptimizer(0.1, 1.0), ContractViolation);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 1.0), ContractViolation);
+  EXPECT_THROW(AdamOptimizer(0.1, 0.9, 0.999, 0.0), ContractViolation);
+}
+
+TEST(Adam, BiasUpdatesToo) {
+  std::vector<DenseLayer> layers;
+  layers.emplace_back(Tensor(1, 1), Tensor(1, 1), Activation::kIdentity);
+  layers[0].bias_grad()(0, 0) = 1.0;
+  AdamOptimizer opt(0.01);
+  opt.step(layers);
+  EXPECT_LT(layers[0].bias()(0, 0), 0.0);
+}
+
+TEST(ClipGradients, NoopBelowThreshold) {
+  auto layers = scalar_layer(0.0, 3.0);
+  const double norm = clip_gradients(layers, 10.0);
+  EXPECT_DOUBLE_EQ(norm, 3.0);
+  EXPECT_DOUBLE_EQ(layers[0].weight_grad()(0, 0), 3.0);
+}
+
+TEST(ClipGradients, ScalesAboveThreshold) {
+  auto layers = scalar_layer(0.0, 30.0);
+  const double norm = clip_gradients(layers, 10.0);
+  EXPECT_DOUBLE_EQ(norm, 30.0);
+  EXPECT_NEAR(layers[0].weight_grad()(0, 0), 10.0, 1e-12);
+}
+
+TEST(ClipGradients, GlobalNormAcrossTensors) {
+  std::vector<DenseLayer> layers;
+  layers.emplace_back(Tensor(1, 1), Tensor(1, 1), Activation::kIdentity);
+  layers[0].weight_grad()(0, 0) = 3.0;
+  layers[0].bias_grad()(0, 0) = 4.0;  // global norm = 5
+  const double norm = clip_gradients(layers, 1.0);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_NEAR(layers[0].weight_grad()(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(layers[0].bias_grad()(0, 0), 0.8, 1e-12);
+}
+
+TEST(ClipGradients, InvalidMaxNorm) {
+  auto layers = scalar_layer(0.0, 1.0);
+  EXPECT_THROW(clip_gradients(layers, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace miras::nn

@@ -1,0 +1,68 @@
+#include "rl/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "core/miras_agent.h"
+#include "rl/action.h"
+#include "rl/ddpg.h"
+
+namespace miras {
+namespace {
+
+TEST(InitialWindowStats, ShapesAndZeroHistory) {
+  const auto stats = rl::initial_window_stats({1.0, 2.0, 3.0}, 2, 3);
+  EXPECT_EQ(stats.wip, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_DOUBLE_EQ(stats.reward, 1.0 - 6.0);
+  EXPECT_EQ(stats.completed, (std::vector<std::size_t>{0, 0}));
+  EXPECT_EQ(stats.mean_response_time, (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(stats.task_arrivals, (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_EQ(stats.task_completions, (std::vector<std::size_t>{0, 0, 0}));
+  EXPECT_EQ(stats.allocation, (std::vector<int>{0, 0, 0}));
+}
+
+rl::DdpgConfig tiny_config() {
+  rl::DdpgConfig config;
+  config.actor_hidden = {8, 8};
+  config.critic_hidden = {8, 8};
+  config.seed = 2;
+  return config;
+}
+
+TEST(DdpgPolicy, NameAndBudgetChecked) {
+  rl::DdpgAgent agent(2, 2, 10, tiny_config());
+  core::DdpgPolicy policy(&agent, "miras");
+  EXPECT_EQ(policy.name(), "miras");
+  const auto stats = rl::initial_window_stats({3.0, 4.0}, 1, 2);
+  EXPECT_THROW(policy.decide(stats, 99), ContractViolation);  // wrong budget
+  const auto alloc = policy.decide(stats, 10);
+  EXPECT_TRUE(rl::satisfies_budget(alloc, 10));
+}
+
+TEST(DdpgPolicy, IsGreedyAndDeterministic) {
+  rl::DdpgAgent agent(2, 2, 10, tiny_config());
+  core::DdpgPolicy policy(&agent, "p");
+  const auto stats = rl::initial_window_stats({5.0, 1.0}, 1, 2);
+  const auto a = policy.decide(stats, 10);
+  const auto b = policy.decide(stats, 10);
+  EXPECT_EQ(a, b);
+  // Matches the agent's own greedy action.
+  EXPECT_EQ(a, agent.act_allocation({5.0, 1.0}, /*explore=*/false));
+}
+
+TEST(DdpgPolicy, RespectsMinimumAllocationGuardrail) {
+  rl::DdpgConfig config = tiny_config();
+  config.min_consumers_per_type = 1;
+  rl::DdpgAgent agent(3, 3, 9, config);
+  core::DdpgPolicy policy(&agent, "p");
+  const auto stats = rl::initial_window_stats({100.0, 0.0, 0.0}, 1, 3);
+  const auto alloc = policy.decide(stats, 9);
+  for (const int m : alloc) EXPECT_GE(m, 1);
+}
+
+TEST(DdpgPolicy, NullAgentRejected) {
+  EXPECT_THROW(core::DdpgPolicy(nullptr, "x"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace miras

@@ -1,0 +1,96 @@
+#include "rl/replay_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.h"
+
+namespace miras::rl {
+namespace {
+
+Experience make_experience(double tag) {
+  return Experience{{tag}, {tag}, tag, {tag + 1.0}};
+}
+
+TEST(ReplayBuffer, StartsEmpty) {
+  ReplayBuffer buffer(10);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.capacity(), 10u);
+}
+
+TEST(ReplayBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(ReplayBuffer(0), ContractViolation);
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.add(make_experience(i));
+  EXPECT_EQ(buffer.size(), 3u);
+  buffer.add(make_experience(99));
+  EXPECT_EQ(buffer.size(), 3u);  // capped
+}
+
+TEST(ReplayBuffer, OverwritesOldestFirst) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 3; ++i) buffer.add(make_experience(i));
+  buffer.add(make_experience(100));  // overwrites index 0 (oldest)
+  EXPECT_DOUBLE_EQ(buffer[0].reward, 100.0);
+  EXPECT_DOUBLE_EQ(buffer[1].reward, 1.0);
+  EXPECT_DOUBLE_EQ(buffer[2].reward, 2.0);
+  buffer.add(make_experience(101));  // then index 1
+  EXPECT_DOUBLE_EQ(buffer[1].reward, 101.0);
+}
+
+TEST(ReplayBuffer, SampleFromEmptyThrows) {
+  ReplayBuffer buffer(4);
+  Rng rng(1);
+  EXPECT_THROW(buffer.sample(1, rng), ContractViolation);
+}
+
+TEST(ReplayBuffer, SampleReturnsRequestedCount) {
+  ReplayBuffer buffer(8);
+  for (int i = 0; i < 5; ++i) buffer.add(make_experience(i));
+  Rng rng(2);
+  EXPECT_EQ(buffer.sample(3, rng).size(), 3u);
+  EXPECT_EQ(buffer.sample(20, rng).size(), 20u);  // with replacement
+}
+
+TEST(ReplayBuffer, SampleCoversAllEntriesEventually) {
+  ReplayBuffer buffer(5);
+  for (int i = 0; i < 5; ++i) buffer.add(make_experience(i));
+  Rng rng(3);
+  std::set<double> seen;
+  for (const Experience* e : buffer.sample(500, rng)) seen.insert(e->reward);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ReplayBuffer, SampleDeterministicPerSeed) {
+  ReplayBuffer buffer(6);
+  for (int i = 0; i < 6; ++i) buffer.add(make_experience(i));
+  Rng a(7), b(7);
+  const auto sa = buffer.sample(10, a);
+  const auto sb = buffer.sample(10, b);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(sa[i]->reward, sb[i]->reward);
+}
+
+TEST(ReplayBuffer, IndexBoundsChecked) {
+  ReplayBuffer buffer(4);
+  buffer.add(make_experience(1));
+  EXPECT_THROW(buffer[1], ContractViolation);
+}
+
+TEST(ReplayBuffer, ClearResets) {
+  ReplayBuffer buffer(4);
+  for (int i = 0; i < 6; ++i) buffer.add(make_experience(i));
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  // After clear, insertion starts from the beginning again.
+  buffer.add(make_experience(42));
+  EXPECT_DOUBLE_EQ(buffer[0].reward, 42.0);
+}
+
+}  // namespace
+}  // namespace miras::rl

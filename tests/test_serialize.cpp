@@ -1,0 +1,100 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace miras::nn {
+namespace {
+
+Network make_network() {
+  Rng rng(1);
+  MlpSpec spec;
+  spec.input_dim = 4;
+  spec.hidden_dims = {6, 5};
+  spec.output_dim = 3;
+  spec.hidden_activation = Activation::kRelu;
+  spec.output_activation = Activation::kSoftmax;
+  return Network(spec, rng);
+}
+
+TEST(Serialize, NetworkRoundTripBitExact) {
+  const Network original = make_network();
+  std::stringstream stream;
+  save_network(original, stream);
+  const Network loaded = load_network(stream);
+
+  EXPECT_EQ(loaded.num_layers(), original.num_layers());
+  EXPECT_EQ(loaded.get_parameters(), original.get_parameters());
+  for (std::size_t l = 0; l < loaded.num_layers(); ++l)
+    EXPECT_EQ(loaded.layer(l).activation(), original.layer(l).activation());
+
+  const std::vector<double> x{0.1, -0.7, 2.5, 0.0};
+  EXPECT_EQ(loaded.predict_one(x), original.predict_one(x));
+}
+
+TEST(Serialize, CriticRoundTripBitExact) {
+  Rng rng(2);
+  CriticSpec spec;
+  spec.state_dim = 3;
+  spec.action_dim = 2;
+  spec.hidden_dims = {8, 6};
+  const CriticNetwork original(spec, rng);
+
+  std::stringstream stream;
+  save_critic(original, stream);
+  const CriticNetwork loaded = load_critic(stream);
+
+  EXPECT_EQ(loaded.state_dim(), 3u);
+  EXPECT_EQ(loaded.action_dim(), 2u);
+  const std::vector<double> s{0.4, -0.2, 1.1}, a{0.3, 0.7};
+  EXPECT_EQ(loaded.predict_one(s, a), original.predict_one(s, a));
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  std::stringstream stream("not-a-network 1");
+  EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCriticAsNetwork) {
+  Rng rng(3);
+  CriticSpec spec;
+  spec.state_dim = 2;
+  spec.action_dim = 2;
+  spec.hidden_dims = {4, 4};
+  std::stringstream stream;
+  save_critic(CriticNetwork(spec, rng), stream);
+  EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const Network original = make_network();
+  std::stringstream stream;
+  save_network(original, stream);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_network(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsEmptyStream) {
+  std::stringstream stream;
+  EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, ExtremeValuesSurvive) {
+  Network net = make_network();
+  auto params = net.get_parameters();
+  params[0] = 1e-300;
+  params[1] = -1e300;
+  params[2] = 3.141592653589793;
+  net.set_parameters(params);
+  std::stringstream stream;
+  save_network(net, stream);
+  const Network loaded = load_network(stream);
+  EXPECT_EQ(loaded.get_parameters(), params);
+}
+
+}  // namespace
+}  // namespace miras::nn

@@ -1,0 +1,153 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace miras {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(5.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> values{1.5, -2.0, 4.25, 0.0, 7.5, -1.25};
+  RunningStats stats;
+  double sum = 0.0;
+  for (const double v : values) {
+    stats.add(v);
+    sum += v;
+  }
+  const double mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (const double v : values) sq += (v - mean) * (v - mean);
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), sq / static_cast<double>(values.size()),
+              1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats stats;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) stats.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.mean(), offset, 1e-3);
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(3);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    a.add(x);
+    combined.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.normal(-1.0, 0.5);
+    b.add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.add(10.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(Ewma, ConvergesTowardConstant) {
+  Ewma ewma(0.3);
+  ewma.add(0.0);
+  for (int i = 0; i < 100; ++i) ewma.add(5.0);
+  EXPECT_NEAR(ewma.value(), 5.0, 1e-9);
+}
+
+TEST(Ewma, WeightsNewestSample) {
+  Ewma ewma(0.25);
+  ewma.add(0.0);
+  ewma.add(8.0);
+  EXPECT_DOUBLE_EQ(ewma.value(), 2.0);  // 0.25 * 8
+}
+
+TEST(Ewma, RejectsInvalidAlpha) {
+  EXPECT_THROW(Ewma(0.0), ContractViolation);
+  EXPECT_THROW(Ewma(1.5), ContractViolation);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(Ewma, ValueBeforeAddThrows) {
+  Ewma ewma(0.5);
+  EXPECT_THROW(ewma.value(), ContractViolation);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  // R-7 convention: p25 of {1,2,3,4} is 1.75.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 25.0), 1.75);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 10.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 90.0), 42.0);
+}
+
+TEST(Percentile, InputValidation) {
+  EXPECT_THROW(percentile({}, 50.0), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, -1.0), ContractViolation);
+  EXPECT_THROW(percentile({1.0}, 101.0), ContractViolation);
+}
+
+TEST(VectorHelpers, MeanAndSum) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(sum_of({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ(sum_of({}), 0.0);
+}
+
+}  // namespace
+}  // namespace miras

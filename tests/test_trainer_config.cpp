@@ -1,0 +1,73 @@
+#include "core/trainer_config.h"
+
+#include <gtest/gtest.h>
+
+namespace miras::core {
+namespace {
+
+TEST(TrainerConfig, MsdPaperPresetMatchesSectionVIA3) {
+  const MirasConfig config = miras_msd_config();
+  EXPECT_EQ(config.model.hidden_dims, (std::vector<std::size_t>{20, 20, 20}));
+  EXPECT_EQ(config.ddpg.actor_hidden,
+            (std::vector<std::size_t>{256, 256, 256}));
+  EXPECT_EQ(config.ddpg.critic_hidden,
+            (std::vector<std::size_t>{256, 256, 256}));
+  EXPECT_EQ(config.outer_iterations, 11u);
+  EXPECT_EQ(config.real_steps_per_iteration, 1000u);
+  EXPECT_EQ(config.reset_interval, 25u);
+  EXPECT_EQ(config.rollout_length, 25u);
+  EXPECT_EQ(config.eval_steps, 25u);
+}
+
+TEST(TrainerConfig, LigoPaperPresetMatchesSectionVIA3) {
+  const MirasConfig config = miras_ligo_config();
+  EXPECT_EQ(config.model.hidden_dims, (std::vector<std::size_t>{20}));
+  EXPECT_EQ(config.ddpg.actor_hidden,
+            (std::vector<std::size_t>{512, 512, 512}));
+  EXPECT_EQ(config.real_steps_per_iteration, 2000u);
+  EXPECT_EQ(config.rollout_length, 10u);
+  EXPECT_EQ(config.eval_steps, 100u);
+  // Deep DAGs need longer returns (DESIGN.md §3b).
+  EXPECT_GE(config.ddpg.n_step, 10u);
+}
+
+TEST(TrainerConfig, FastPresetsAreStrictlyCheaper) {
+  const MirasConfig msd_full = miras_msd_config();
+  const MirasConfig msd_fast = miras_msd_fast_config();
+  EXPECT_LT(msd_fast.outer_iterations, msd_full.outer_iterations);
+  EXPECT_LT(msd_fast.real_steps_per_iteration,
+            msd_full.real_steps_per_iteration);
+  EXPECT_LT(msd_fast.ddpg.actor_hidden.front(),
+            msd_full.ddpg.actor_hidden.front());
+
+  const MirasConfig ligo_full = miras_ligo_config();
+  const MirasConfig ligo_fast = miras_ligo_fast_config();
+  EXPECT_LT(ligo_fast.outer_iterations, ligo_full.outer_iterations);
+  EXPECT_LT(ligo_fast.real_steps_per_iteration,
+            ligo_full.real_steps_per_iteration);
+  EXPECT_LT(ligo_fast.ddpg.actor_hidden.front(),
+            ligo_full.ddpg.actor_hidden.front());
+}
+
+TEST(TrainerConfig, DefaultsAreInternallyConsistent) {
+  for (const MirasConfig& config :
+       {miras_msd_config(), miras_ligo_config(), miras_msd_fast_config(),
+        miras_ligo_fast_config()}) {
+    EXPECT_GT(config.outer_iterations, 0u);
+    EXPECT_GT(config.rollout_length, 0u);
+    EXPECT_GT(config.reset_interval, 0u);
+    EXPECT_GT(config.reward_scale, 0.0);
+    EXPECT_GE(config.random_episode_fraction, 0.0);
+    EXPECT_GE(config.demo_episode_fraction, 0.0);
+    EXPECT_LE(config.random_episode_fraction + config.demo_episode_fraction,
+              1.0);
+    EXPECT_GE(config.ddpg.gamma, 0.0);
+    EXPECT_LT(config.ddpg.gamma, 1.0);
+    // Rollouts must be long enough for the configured n-step returns to
+    // mature within an episode at least once.
+    EXPECT_GE(config.rollout_length, config.ddpg.n_step);
+  }
+}
+
+}  // namespace
+}  // namespace miras::core

@@ -1,0 +1,197 @@
+#include "workflows/workflow_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+#include "workflows/service_time.h"
+
+namespace miras::workflows {
+namespace {
+
+TEST(WorkflowGraph, AddNodesAndEdges) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(1);
+  graph.add_edge(a, b);
+  EXPECT_EQ(graph.num_nodes(), 2u);
+  EXPECT_EQ(graph.task_type_of(a), 0u);
+  EXPECT_EQ(graph.successors(a), (std::vector<std::size_t>{b}));
+  EXPECT_EQ(graph.predecessors(b), (std::vector<std::size_t>{a}));
+  EXPECT_EQ(graph.in_degree(a), 0u);
+  EXPECT_EQ(graph.in_degree(b), 1u);
+}
+
+TEST(WorkflowGraph, RootsAndSinks) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(0);
+  const auto c = graph.add_node(0);
+  graph.add_edge(a, c);
+  graph.add_edge(b, c);
+  EXPECT_EQ(graph.roots(), (std::vector<std::size_t>{a, b}));
+  EXPECT_EQ(graph.sinks(), (std::vector<std::size_t>{c}));
+}
+
+TEST(WorkflowGraph, SelfLoopRejected) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  EXPECT_THROW(graph.add_edge(a, a), ContractViolation);
+}
+
+TEST(WorkflowGraph, DuplicateEdgeRejected) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(0);
+  graph.add_edge(a, b);
+  EXPECT_THROW(graph.add_edge(a, b), ContractViolation);
+}
+
+TEST(WorkflowGraph, OutOfRangeEdgeRejected) {
+  WorkflowGraph graph("g");
+  graph.add_node(0);
+  EXPECT_THROW(graph.add_edge(0, 5), ContractViolation);
+  EXPECT_THROW(graph.add_edge(5, 0), ContractViolation);
+}
+
+TEST(WorkflowGraph, TopologicalOrderRespectsEdges) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(0);
+  const auto c = graph.add_node(0);
+  const auto d = graph.add_node(0);
+  graph.add_edge(a, b);
+  graph.add_edge(a, c);
+  graph.add_edge(b, d);
+  graph.add_edge(c, d);
+  const auto order = graph.topological_order();
+  auto position = [&order](std::size_t n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(position(a), position(b));
+  EXPECT_LT(position(a), position(c));
+  EXPECT_LT(position(b), position(d));
+  EXPECT_LT(position(c), position(d));
+}
+
+TEST(WorkflowGraph, CycleDetected) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(0);
+  const auto c = graph.add_node(0);
+  graph.add_edge(a, b);
+  graph.add_edge(b, c);
+  graph.add_edge(c, a);
+  EXPECT_FALSE(graph.is_valid_dag());
+  EXPECT_THROW(graph.validate(), ContractViolation);
+  EXPECT_THROW(graph.topological_order(), ContractViolation);
+}
+
+TEST(WorkflowGraph, EmptyGraphInvalid) {
+  WorkflowGraph graph("g");
+  EXPECT_FALSE(graph.is_valid_dag());
+  EXPECT_THROW(graph.validate(), ContractViolation);
+}
+
+TEST(WorkflowGraph, SingleNodeValid) {
+  WorkflowGraph graph("g");
+  graph.add_node(3);
+  EXPECT_TRUE(graph.is_valid_dag());
+  EXPECT_EQ(graph.longest_path_length(), 1u);
+}
+
+TEST(WorkflowGraph, LongestPathOfChain) {
+  WorkflowGraph graph("g");
+  std::size_t prev = graph.add_node(0);
+  for (int i = 0; i < 4; ++i) {
+    const auto next = graph.add_node(0);
+    graph.add_edge(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(graph.longest_path_length(), 5u);
+}
+
+TEST(WorkflowGraph, LongestPathOfDiamond) {
+  WorkflowGraph graph("g");
+  const auto a = graph.add_node(0);
+  const auto b = graph.add_node(0);
+  const auto c = graph.add_node(0);
+  graph.add_edge(a, b);
+  graph.add_edge(a, c);
+  graph.add_edge(b, c);
+  EXPECT_EQ(graph.longest_path_length(), 3u);
+}
+
+// Property test: random DAGs built with forward-only edges are always valid
+// and topological_order returns every node exactly once.
+class RandomDagTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagTest, ForwardEdgeGraphsAreValidDags) {
+  miras::Rng rng(GetParam());
+  WorkflowGraph graph("random");
+  const auto num_nodes =
+      static_cast<std::size_t>(rng.uniform_int(1, 20));
+  for (std::size_t n = 0; n < num_nodes; ++n)
+    graph.add_node(static_cast<std::size_t>(rng.uniform_int(0, 4)));
+  // Forward edges only (i < j) can never form a cycle.
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    for (std::size_t j = i + 1; j < num_nodes; ++j) {
+      if (rng.uniform() < 0.3) graph.add_edge(i, j);
+    }
+  }
+  EXPECT_TRUE(graph.is_valid_dag());
+  const auto order = graph.topological_order();
+  EXPECT_EQ(order.size(), num_nodes);
+  std::vector<std::size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t n = 0; n < num_nodes; ++n) EXPECT_EQ(sorted[n], n);
+  EXPECT_GE(graph.longest_path_length(), 1u);
+  EXPECT_LE(graph.longest_path_length(), num_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ServiceTimeModel, DeterministicAlwaysMean) {
+  miras::Rng rng(1);
+  const auto model = ServiceTimeModel::deterministic(4.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(model.sample(rng), 4.0);
+}
+
+TEST(ServiceTimeModel, ExponentialMean) {
+  miras::Rng rng(2);
+  const auto model = ServiceTimeModel::exponential(5.0);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += model.sample(rng);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(ServiceTimeModel, LognormalMeanAndCv) {
+  miras::Rng rng(3);
+  const auto model = ServiceTimeModel::lognormal(8.0, 0.5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = model.sample(rng);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 8.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance) / mean, 0.5, 0.02);
+}
+
+TEST(ServiceTimeModel, InvalidParameters) {
+  EXPECT_THROW(ServiceTimeModel::deterministic(0.0), miras::ContractViolation);
+  EXPECT_THROW(ServiceTimeModel::lognormal(1.0, -0.1),
+               miras::ContractViolation);
+}
+
+}  // namespace
+}  // namespace miras::workflows

@@ -1,0 +1,91 @@
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace miras::sim {
+namespace {
+
+TEST(WorkloadSource, RatesExposed) {
+  WorkloadSource source({0.5, 0.0, 2.0}, Rng(1));
+  EXPECT_EQ(source.num_workflow_types(), 3u);
+  EXPECT_DOUBLE_EQ(source.rate(0), 0.5);
+  EXPECT_TRUE(source.has_stream(0));
+  EXPECT_FALSE(source.has_stream(1));
+  EXPECT_TRUE(source.has_stream(2));
+}
+
+TEST(WorkloadSource, GapsArePositive) {
+  WorkloadSource source({1.0}, Rng(2));
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(source.next_gap(0), 0.0);
+}
+
+TEST(WorkloadSource, MeanGapMatchesRate) {
+  WorkloadSource source({0.25}, Rng(3));
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += source.next_gap(0);
+  EXPECT_NEAR(total / n, 4.0, 0.1);  // mean inter-arrival = 1/rate
+}
+
+TEST(WorkloadSource, PoissonCountStatistics) {
+  // Arrivals in disjoint unit windows should be Poisson(rate): equal mean
+  // and variance.
+  WorkloadSource source({3.0}, Rng(4));
+  std::vector<double> counts;
+  double clock = 0.0;
+  double next = source.next_gap(0);
+  for (int window = 0; window < 5000; ++window) {
+    const double end = clock + 1.0;
+    int count = 0;
+    while (clock + next <= end) {
+      clock += next;
+      next = source.next_gap(0);
+      ++count;
+    }
+    next -= end - clock;
+    clock = end;
+    counts.push_back(count);
+  }
+  double mean = 0.0;
+  for (const double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  double variance = 0.0;
+  for (const double c : counts) variance += (c - mean) * (c - mean);
+  variance /= static_cast<double>(counts.size());
+  EXPECT_NEAR(mean, 3.0, 0.15);
+  EXPECT_NEAR(variance / mean, 1.0, 0.15);  // index of dispersion ~ 1
+}
+
+TEST(WorkloadSource, DeterministicPerSeed) {
+  WorkloadSource a({1.0, 2.0}, Rng(5));
+  WorkloadSource b({1.0, 2.0}, Rng(5));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_gap(0), b.next_gap(0));
+    EXPECT_DOUBLE_EQ(a.next_gap(1), b.next_gap(1));
+  }
+}
+
+TEST(WorkloadSource, ZeroRateStreamRejectsSampling) {
+  WorkloadSource source({0.0}, Rng(6));
+  EXPECT_THROW(source.next_gap(0), ContractViolation);
+}
+
+TEST(WorkloadSource, NegativeRateRejected) {
+  EXPECT_THROW(WorkloadSource({-1.0}, Rng(7)), ContractViolation);
+}
+
+TEST(WorkloadSource, OutOfRangeTypeThrows) {
+  WorkloadSource source({1.0}, Rng(8));
+  EXPECT_THROW(source.rate(1), ContractViolation);
+  EXPECT_THROW(source.next_gap(1), ContractViolation);
+}
+
+TEST(BurstSpec, DefaultIsEmpty) {
+  BurstSpec burst;
+  EXPECT_TRUE(burst.counts.empty());
+}
+
+}  // namespace
+}  // namespace miras::sim
