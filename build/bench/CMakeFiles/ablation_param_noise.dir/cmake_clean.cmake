@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_param_noise.dir/ablation_param_noise.cpp.o"
+  "CMakeFiles/ablation_param_noise.dir/ablation_param_noise.cpp.o.d"
+  "ablation_param_noise"
+  "ablation_param_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_param_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

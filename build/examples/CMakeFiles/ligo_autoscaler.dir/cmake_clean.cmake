@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ligo_autoscaler.dir/ligo_autoscaler.cpp.o"
+  "CMakeFiles/ligo_autoscaler.dir/ligo_autoscaler.cpp.o.d"
+  "ligo_autoscaler"
+  "ligo_autoscaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ligo_autoscaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

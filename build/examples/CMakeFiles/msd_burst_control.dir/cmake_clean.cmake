@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msd_burst_control.dir/msd_burst_control.cpp.o"
+  "CMakeFiles/msd_burst_control.dir/msd_burst_control.cpp.o.d"
+  "msd_burst_control"
+  "msd_burst_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msd_burst_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/drs.cpp" "src/CMakeFiles/miras_baselines.dir/baselines/drs.cpp.o" "gcc" "src/CMakeFiles/miras_baselines.dir/baselines/drs.cpp.o.d"
+  "/root/repo/src/baselines/heft.cpp" "src/CMakeFiles/miras_baselines.dir/baselines/heft.cpp.o" "gcc" "src/CMakeFiles/miras_baselines.dir/baselines/heft.cpp.o.d"
+  "/root/repo/src/baselines/monad.cpp" "src/CMakeFiles/miras_baselines.dir/baselines/monad.cpp.o" "gcc" "src/CMakeFiles/miras_baselines.dir/baselines/monad.cpp.o.d"
+  "/root/repo/src/baselines/queueing.cpp" "src/CMakeFiles/miras_baselines.dir/baselines/queueing.cpp.o" "gcc" "src/CMakeFiles/miras_baselines.dir/baselines/queueing.cpp.o.d"
+  "/root/repo/src/baselines/simple.cpp" "src/CMakeFiles/miras_baselines.dir/baselines/simple.cpp.o" "gcc" "src/CMakeFiles/miras_baselines.dir/baselines/simple.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_baselines.dir/baselines/drs.cpp.o"
+  "CMakeFiles/miras_baselines.dir/baselines/drs.cpp.o.d"
+  "CMakeFiles/miras_baselines.dir/baselines/heft.cpp.o"
+  "CMakeFiles/miras_baselines.dir/baselines/heft.cpp.o.d"
+  "CMakeFiles/miras_baselines.dir/baselines/monad.cpp.o"
+  "CMakeFiles/miras_baselines.dir/baselines/monad.cpp.o.d"
+  "CMakeFiles/miras_baselines.dir/baselines/queueing.cpp.o"
+  "CMakeFiles/miras_baselines.dir/baselines/queueing.cpp.o.d"
+  "CMakeFiles/miras_baselines.dir/baselines/simple.cpp.o"
+  "CMakeFiles/miras_baselines.dir/baselines/simple.cpp.o.d"
+  "libmiras_baselines.a"
+  "libmiras_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

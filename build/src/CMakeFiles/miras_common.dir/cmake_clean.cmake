@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_common.dir/common/csv.cpp.o"
+  "CMakeFiles/miras_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/miras_common.dir/common/logging.cpp.o"
+  "CMakeFiles/miras_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/miras_common.dir/common/rng.cpp.o"
+  "CMakeFiles/miras_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/miras_common.dir/common/stats.cpp.o"
+  "CMakeFiles/miras_common.dir/common/stats.cpp.o.d"
+  "libmiras_common.a"
+  "libmiras_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_core.dir/core/evaluation.cpp.o"
+  "CMakeFiles/miras_core.dir/core/evaluation.cpp.o.d"
+  "CMakeFiles/miras_core.dir/core/miras_agent.cpp.o"
+  "CMakeFiles/miras_core.dir/core/miras_agent.cpp.o.d"
+  "CMakeFiles/miras_core.dir/core/trainer_config.cpp.o"
+  "CMakeFiles/miras_core.dir/core/trainer_config.cpp.o.d"
+  "libmiras_core.a"
+  "libmiras_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

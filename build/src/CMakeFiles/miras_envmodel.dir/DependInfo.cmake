@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/envmodel/dataset.cpp" "src/CMakeFiles/miras_envmodel.dir/envmodel/dataset.cpp.o" "gcc" "src/CMakeFiles/miras_envmodel.dir/envmodel/dataset.cpp.o.d"
+  "/root/repo/src/envmodel/dynamics_model.cpp" "src/CMakeFiles/miras_envmodel.dir/envmodel/dynamics_model.cpp.o" "gcc" "src/CMakeFiles/miras_envmodel.dir/envmodel/dynamics_model.cpp.o.d"
+  "/root/repo/src/envmodel/refiner.cpp" "src/CMakeFiles/miras_envmodel.dir/envmodel/refiner.cpp.o" "gcc" "src/CMakeFiles/miras_envmodel.dir/envmodel/refiner.cpp.o.d"
+  "/root/repo/src/envmodel/synthetic_env.cpp" "src/CMakeFiles/miras_envmodel.dir/envmodel/synthetic_env.cpp.o" "gcc" "src/CMakeFiles/miras_envmodel.dir/envmodel/synthetic_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

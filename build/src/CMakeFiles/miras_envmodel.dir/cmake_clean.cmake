@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_envmodel.dir/envmodel/dataset.cpp.o"
+  "CMakeFiles/miras_envmodel.dir/envmodel/dataset.cpp.o.d"
+  "CMakeFiles/miras_envmodel.dir/envmodel/dynamics_model.cpp.o"
+  "CMakeFiles/miras_envmodel.dir/envmodel/dynamics_model.cpp.o.d"
+  "CMakeFiles/miras_envmodel.dir/envmodel/refiner.cpp.o"
+  "CMakeFiles/miras_envmodel.dir/envmodel/refiner.cpp.o.d"
+  "CMakeFiles/miras_envmodel.dir/envmodel/synthetic_env.cpp.o"
+  "CMakeFiles/miras_envmodel.dir/envmodel/synthetic_env.cpp.o.d"
+  "libmiras_envmodel.a"
+  "libmiras_envmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_envmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

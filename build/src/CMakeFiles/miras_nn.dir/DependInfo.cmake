@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/miras_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/critic_network.cpp" "src/CMakeFiles/miras_nn.dir/nn/critic_network.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/critic_network.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/CMakeFiles/miras_nn.dir/nn/layer.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/miras_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/miras_nn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/miras_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/miras_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/miras_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/miras_nn.dir/nn/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

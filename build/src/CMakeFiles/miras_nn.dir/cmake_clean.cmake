@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/critic_network.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/critic_network.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/layer.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/layer.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/network.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/network.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/serialize.cpp.o.d"
+  "CMakeFiles/miras_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/miras_nn.dir/nn/tensor.cpp.o.d"
+  "libmiras_nn.a"
+  "libmiras_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/action.cpp" "src/CMakeFiles/miras_rl.dir/rl/action.cpp.o" "gcc" "src/CMakeFiles/miras_rl.dir/rl/action.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "src/CMakeFiles/miras_rl.dir/rl/ddpg.cpp.o" "gcc" "src/CMakeFiles/miras_rl.dir/rl/ddpg.cpp.o.d"
+  "/root/repo/src/rl/noise.cpp" "src/CMakeFiles/miras_rl.dir/rl/noise.cpp.o" "gcc" "src/CMakeFiles/miras_rl.dir/rl/noise.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/CMakeFiles/miras_rl.dir/rl/replay_buffer.cpp.o" "gcc" "src/CMakeFiles/miras_rl.dir/rl/replay_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_rl.dir/rl/action.cpp.o"
+  "CMakeFiles/miras_rl.dir/rl/action.cpp.o.d"
+  "CMakeFiles/miras_rl.dir/rl/ddpg.cpp.o"
+  "CMakeFiles/miras_rl.dir/rl/ddpg.cpp.o.d"
+  "CMakeFiles/miras_rl.dir/rl/noise.cpp.o"
+  "CMakeFiles/miras_rl.dir/rl/noise.cpp.o.d"
+  "CMakeFiles/miras_rl.dir/rl/replay_buffer.cpp.o"
+  "CMakeFiles/miras_rl.dir/rl/replay_buffer.cpp.o.d"
+  "libmiras_rl.a"
+  "libmiras_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

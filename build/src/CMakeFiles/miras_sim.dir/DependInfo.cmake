@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/consumer_pool.cpp" "src/CMakeFiles/miras_sim.dir/sim/consumer_pool.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/consumer_pool.cpp.o.d"
+  "/root/repo/src/sim/dependency_service.cpp" "src/CMakeFiles/miras_sim.dir/sim/dependency_service.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/dependency_service.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/miras_sim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/miras_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/miras_sim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/system.cpp.o.d"
+  "/root/repo/src/sim/task_queue.cpp" "src/CMakeFiles/miras_sim.dir/sim/task_queue.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/task_queue.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/miras_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/miras_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_sim.dir/sim/consumer_pool.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/consumer_pool.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/dependency_service.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/dependency_service.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/system.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/system.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/task_queue.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/task_queue.cpp.o.d"
+  "CMakeFiles/miras_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/miras_sim.dir/sim/workload.cpp.o.d"
+  "libmiras_sim.a"
+  "libmiras_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmiras_sim.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workflows/ensemble.cpp" "src/CMakeFiles/miras_workflows.dir/workflows/ensemble.cpp.o" "gcc" "src/CMakeFiles/miras_workflows.dir/workflows/ensemble.cpp.o.d"
+  "/root/repo/src/workflows/ligo.cpp" "src/CMakeFiles/miras_workflows.dir/workflows/ligo.cpp.o" "gcc" "src/CMakeFiles/miras_workflows.dir/workflows/ligo.cpp.o.d"
+  "/root/repo/src/workflows/msd.cpp" "src/CMakeFiles/miras_workflows.dir/workflows/msd.cpp.o" "gcc" "src/CMakeFiles/miras_workflows.dir/workflows/msd.cpp.o.d"
+  "/root/repo/src/workflows/service_time.cpp" "src/CMakeFiles/miras_workflows.dir/workflows/service_time.cpp.o" "gcc" "src/CMakeFiles/miras_workflows.dir/workflows/service_time.cpp.o.d"
+  "/root/repo/src/workflows/workflow_graph.cpp" "src/CMakeFiles/miras_workflows.dir/workflows/workflow_graph.cpp.o" "gcc" "src/CMakeFiles/miras_workflows.dir/workflows/workflow_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miras_workflows.dir/workflows/ensemble.cpp.o"
+  "CMakeFiles/miras_workflows.dir/workflows/ensemble.cpp.o.d"
+  "CMakeFiles/miras_workflows.dir/workflows/ligo.cpp.o"
+  "CMakeFiles/miras_workflows.dir/workflows/ligo.cpp.o.d"
+  "CMakeFiles/miras_workflows.dir/workflows/msd.cpp.o"
+  "CMakeFiles/miras_workflows.dir/workflows/msd.cpp.o.d"
+  "CMakeFiles/miras_workflows.dir/workflows/service_time.cpp.o"
+  "CMakeFiles/miras_workflows.dir/workflows/service_time.cpp.o.d"
+  "CMakeFiles/miras_workflows.dir/workflows/workflow_graph.cpp.o"
+  "CMakeFiles/miras_workflows.dir/workflows/workflow_graph.cpp.o.d"
+  "libmiras_workflows.a"
+  "libmiras_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miras_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

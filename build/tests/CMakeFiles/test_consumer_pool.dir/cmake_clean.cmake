@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consumer_pool.dir/test_consumer_pool.cpp.o"
+  "CMakeFiles/test_consumer_pool.dir/test_consumer_pool.cpp.o.d"
+  "test_consumer_pool"
+  "test_consumer_pool.pdb"
+  "test_consumer_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consumer_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_critic.dir/test_critic.cpp.o"
+  "CMakeFiles/test_critic.dir/test_critic.cpp.o.d"
+  "test_critic"
+  "test_critic.pdb"
+  "test_critic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_critic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

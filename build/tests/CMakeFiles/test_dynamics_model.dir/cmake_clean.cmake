@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamics_model.dir/test_dynamics_model.cpp.o"
+  "CMakeFiles/test_dynamics_model.dir/test_dynamics_model.cpp.o.d"
+  "test_dynamics_model"
+  "test_dynamics_model.pdb"
+  "test_dynamics_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamics_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ensembles.dir/test_ensembles.cpp.o"
+  "CMakeFiles/test_ensembles.dir/test_ensembles.cpp.o.d"
+  "test_ensembles"
+  "test_ensembles.pdb"
+  "test_ensembles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ensembles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ensembles.
+# This may be replaced when dependencies are built.

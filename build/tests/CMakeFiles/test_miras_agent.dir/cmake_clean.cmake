@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miras_agent.dir/test_miras_agent.cpp.o"
+  "CMakeFiles/test_miras_agent.dir/test_miras_agent.cpp.o.d"
+  "test_miras_agent"
+  "test_miras_agent.pdb"
+  "test_miras_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miras_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

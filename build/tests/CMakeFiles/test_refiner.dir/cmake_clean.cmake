@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refiner.dir/test_refiner.cpp.o"
+  "CMakeFiles/test_refiner.dir/test_refiner.cpp.o.d"
+  "test_refiner"
+  "test_refiner.pdb"
+  "test_refiner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

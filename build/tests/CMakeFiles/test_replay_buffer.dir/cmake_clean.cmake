@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay_buffer.dir/test_replay_buffer.cpp.o"
+  "CMakeFiles/test_replay_buffer.dir/test_replay_buffer.cpp.o.d"
+  "test_replay_buffer"
+  "test_replay_buffer.pdb"
+  "test_replay_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

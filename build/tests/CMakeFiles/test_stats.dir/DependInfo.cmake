@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_stats.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/miras_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_envmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/miras_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_env.dir/test_synthetic_env.cpp.o"
+  "CMakeFiles/test_synthetic_env.dir/test_synthetic_env.cpp.o.d"
+  "test_synthetic_env"
+  "test_synthetic_env.pdb"
+  "test_synthetic_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trainer_config.dir/test_trainer_config.cpp.o"
+  "CMakeFiles/test_trainer_config.dir/test_trainer_config.cpp.o.d"
+  "test_trainer_config"
+  "test_trainer_config.pdb"
+  "test_trainer_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trainer_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
