@@ -16,9 +16,13 @@
 namespace miras {
 namespace {
 
-void run_mode(rl::ExplorationMode mode, const std::string& label,
-              const bench::BenchOptions& options, Table& trace_table,
-              Table& summary) {
+struct ModeResult {
+  std::vector<double> evals;
+  std::size_t constraint_violations = 0;
+};
+
+ModeResult run_mode(rl::ExplorationMode mode,
+                    const bench::BenchOptions& options) {
   sim::SystemConfig config;
   config.consumer_budget = workflows::kMsdConsumerBudget;
   config.seed = options.seed + 2;
@@ -36,18 +40,11 @@ void run_mode(rl::ExplorationMode mode, const std::string& label,
   miras_config.seed = options.seed + 8;
   core::MirasAgent agent(&system, miras_config);
 
-  std::cout << "training with exploration mode: " << label << "\n";
-  std::vector<double> evals;
+  ModeResult result;
   for (std::size_t i = 0; i < miras_config.outer_iterations; ++i)
-    evals.push_back(agent.run_iteration().eval_aggregate_reward);
-
-  for (std::size_t i = 0; i < evals.size(); ++i)
-    trace_table.add_row({label, std::to_string(i + 1),
-                         format_double(evals[i], 1)});
-  summary.add_row(
-      {label, std::to_string(agent.ddpg().constraint_violations()),
-       format_double(evals.back(), 1),
-       format_double(*std::max_element(evals.begin(), evals.end()), 1)});
+    result.evals.push_back(agent.run_iteration().eval_aggregate_reward);
+  result.constraint_violations = agent.ddpg().constraint_violations();
+  return result;
 }
 
 }  // namespace
@@ -57,15 +54,43 @@ int main(int argc, char** argv) {
   using namespace miras;
   const auto options = bench::parse_options(argc, argv);
 
+  const std::vector<std::pair<rl::ExplorationMode, std::string>> modes{
+      {rl::ExplorationMode::kParameterNoise, "parameter_noise"},
+      {rl::ExplorationMode::kActionNoise, "action_noise"},
+      {rl::ExplorationMode::kNone, "no_noise"}};
+
+  // The three trainings are independent; run them concurrently and
+  // assemble the tables serially in mode order.
+  const auto pool = bench::make_pool(options);
+  std::vector<ModeResult> results(modes.size());
+  {
+    const bench::ScopedTimer timer("param-noise ablation", options.threads);
+    const auto run_one = [&](std::size_t i) {
+      results[i] = run_mode(modes[i].first, options);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(modes.size(), run_one);
+    } else {
+      for (std::size_t i = 0; i < modes.size(); ++i) run_one(i);
+    }
+  }
+
   Table trace_table({"mode", "iteration", "eval_aggregate_reward"});
   Table summary({"mode", "raw_constraint_violations", "final_eval",
                  "best_eval"});
-  run_mode(rl::ExplorationMode::kParameterNoise, "parameter_noise", options,
-           trace_table, summary);
-  run_mode(rl::ExplorationMode::kActionNoise, "action_noise", options,
-           trace_table, summary);
-  run_mode(rl::ExplorationMode::kNone, "no_noise", options, trace_table,
-           summary);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const std::string& label = modes[m].second;
+    const ModeResult& result = results[m];
+    std::cout << "trained with exploration mode: " << label << "\n";
+    for (std::size_t i = 0; i < result.evals.size(); ++i)
+      trace_table.add_row({label, std::to_string(i + 1),
+                           format_double(result.evals[i], 1)});
+    summary.add_row(
+        {label, std::to_string(result.constraint_violations),
+         format_double(result.evals.back(), 1),
+         format_double(
+             *std::max_element(result.evals.begin(), result.evals.end()), 1)});
+  }
 
   bench::emit(trace_table, options, "Exploration-mode training traces");
   bench::emit(summary, options, "Exploration-mode summary");

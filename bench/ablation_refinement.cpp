@@ -7,6 +7,7 @@
 //     (Algorithm 1's purpose).
 //  2. End-to-end: MIRAS trained with and without refinement on MSD.
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/stats.h"
@@ -17,61 +18,94 @@
 namespace miras {
 namespace {
 
+struct RefinementResult {
+  std::vector<double> evals;
+  double burst_aggregate_reward = 0.0;
+};
+
+RefinementResult run_refinement_arm(bool use_refiner,
+                                    const bench::BenchOptions& options,
+                                    std::ostream& out) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = options.seed + 13;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+
+  core::MirasConfig miras_config = core::miras_msd_fast_config();
+  miras_config.outer_iterations = options.full ? 8 : 6;
+  miras_config.use_refiner = use_refiner;
+  miras_config.seed = options.seed + 14;
+  core::MirasAgent agent(&system, miras_config);
+
+  out << "training with refinement " << (use_refiner ? "ON" : "OFF") << "\n";
+  RefinementResult result;
+  for (std::size_t i = 0; i < miras_config.outer_iterations; ++i)
+    result.evals.push_back(agent.run_iteration().eval_aggregate_reward);
+
+  // Boundary-behaviour probe on the final model (always fit thresholds so
+  // the refined prediction is available for comparison).
+  if (use_refiner) {
+    envmodel::ModelRefiner& refiner = agent.refiner();
+    Table probe({"state", "raw_wip0_prediction", "refined_wip0_prediction"});
+    const std::vector<int> hold(4, 3);
+    for (const double w : {0.0, 1.0, 2.0, 5.0, 20.0, 60.0}) {
+      const std::vector<double> state{w, w, w, w};
+      RunningStats raw_stats, refined_stats;
+      for (int rep = 0; rep < 20; ++rep) {
+        raw_stats.add(agent.model().predict(state, hold)[0]);
+        refined_stats.add(refiner.predict(state, hold)[0]);
+      }
+      probe.add_numeric_row({w, raw_stats.mean(), refined_stats.mean()}, 2);
+    }
+    bench::emit(probe, options,
+                "Boundary probe: raw vs refined wip[0] prediction "
+                "(allocation 3/3/3/3)",
+                out);
+  }
+
+  // Burst evaluation of the resulting policy.
+  auto policy = agent.make_policy();
+  sim::SystemConfig eval_config = config;
+  eval_config.seed = options.seed + 15;
+  sim::MicroserviceSystem eval_system(workflows::make_msd_ensemble(),
+                                      eval_config);
+  const auto trace = core::run_scenario(
+      eval_system, *policy,
+      core::ScenarioConfig{sim::BurstSpec{{300, 200, 300}}, 40});
+  result.burst_aggregate_reward = trace.aggregate_reward();
+  return result;
+}
+
 void run_refinement_ablation(const bench::BenchOptions& options) {
+  const std::vector<bool> arms{true, false};
+
+  // The two arms are independent trainings; run them concurrently with
+  // buffered output, printed in fixed arm order.
+  const auto pool = bench::make_pool(options);
+  std::vector<RefinementResult> results(arms.size());
+  std::vector<std::ostringstream> buffers(arms.size());
+  {
+    const bench::ScopedTimer timer("refinement ablation", options.threads);
+    const auto run_arm = [&](std::size_t i) {
+      results[i] = run_refinement_arm(arms[i], options, buffers[i]);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(arms.size(), run_arm);
+    } else {
+      for (std::size_t i = 0; i < arms.size(); ++i) run_arm(i);
+    }
+  }
+
   Table summary({"refinement", "final_eval", "best_eval",
                  "burst_aggregate_reward"});
-  for (const bool use_refiner : {true, false}) {
-    sim::SystemConfig config;
-    config.consumer_budget = workflows::kMsdConsumerBudget;
-    config.seed = options.seed + 13;
-    sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
-
-    core::MirasConfig miras_config = core::miras_msd_fast_config();
-    miras_config.outer_iterations = options.full ? 8 : 6;
-    miras_config.use_refiner = use_refiner;
-    miras_config.seed = options.seed + 14;
-    core::MirasAgent agent(&system, miras_config);
-
-    std::cout << "training with refinement "
-              << (use_refiner ? "ON" : "OFF") << "\n";
-    std::vector<double> evals;
-    for (std::size_t i = 0; i < miras_config.outer_iterations; ++i)
-      evals.push_back(agent.run_iteration().eval_aggregate_reward);
-
-    // Boundary-behaviour probe on the final model (always fit thresholds so
-    // the refined prediction is available for comparison).
-    if (use_refiner) {
-      envmodel::ModelRefiner& refiner = agent.refiner();
-      Table probe({"state", "raw_wip0_prediction", "refined_wip0_prediction"});
-      const std::vector<int> hold(4, 3);
-      for (const double w : {0.0, 1.0, 2.0, 5.0, 20.0, 60.0}) {
-        const std::vector<double> state{w, w, w, w};
-        RunningStats raw_stats, refined_stats;
-        for (int rep = 0; rep < 20; ++rep) {
-          raw_stats.add(agent.model().predict(state, hold)[0]);
-          refined_stats.add(refiner.predict(state, hold)[0]);
-        }
-        probe.add_numeric_row({w, raw_stats.mean(), refined_stats.mean()}, 2);
-      }
-      bench::emit(probe, options,
-                  "Boundary probe: raw vs refined wip[0] prediction "
-                  "(allocation 3/3/3/3)");
-    }
-
-    // Burst evaluation of the resulting policy.
-    auto policy = agent.make_policy();
-    sim::SystemConfig eval_config = config;
-    eval_config.seed = options.seed + 15;
-    sim::MicroserviceSystem eval_system(workflows::make_msd_ensemble(),
-                                        eval_config);
-    const auto trace = core::run_scenario(
-        eval_system, *policy,
-        core::ScenarioConfig{sim::BurstSpec{{300, 200, 300}}, 40});
-
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    std::cout << buffers[i].str();
+    const RefinementResult& result = results[i];
     summary.add_row(
-        {use_refiner ? "on" : "off", format_double(evals.back(), 1),
-         format_double(*std::max_element(evals.begin(), evals.end()), 1),
-         format_double(trace.aggregate_reward(), 1)});
+        {arms[i] ? "on" : "off", format_double(result.evals.back(), 1),
+         format_double(
+             *std::max_element(result.evals.begin(), result.evals.end()), 1),
+         format_double(result.burst_aggregate_reward, 1)});
   }
   bench::emit(summary, options, "Refinement ablation summary");
   std::cout << "\nExpected shape (paper §IV-C2): without refinement the\n"

@@ -18,65 +18,89 @@
 namespace miras {
 namespace {
 
-void run_window_ablation(const bench::BenchOptions& options) {
-  Table table({"window_s", "controller", "scenario", "aggregate_reward",
-               "mean_rt_s", "final_total_wip"});
+std::vector<std::vector<std::string>> run_window_arm(
+    double window, const bench::BenchOptions& options) {
   const std::vector<std::pair<std::string, sim::BurstSpec>> scenarios{
       {"steady", sim::BurstSpec{}},
       {"burst(300,200,300)", sim::BurstSpec{{300, 200, 300}}}};
 
-  for (const double window : {5.0, 15.0, 30.0}) {
-    // Equal *wall-clock* horizon for every window length.
-    const double horizon_seconds = 40.0 * 30.0;
-    const auto steps = static_cast<std::size_t>(horizon_seconds / window);
+  // Equal *wall-clock* horizon for every window length.
+  const double horizon_seconds = 40.0 * 30.0;
+  const auto steps = static_cast<std::size_t>(horizon_seconds / window);
 
-    // Deterministic MPC controller.
-    for (const auto& [label, burst] : scenarios) {
-      sim::SystemConfig config;
-      config.consumer_budget = workflows::kMsdConsumerBudget;
-      config.window_length = window;
-      config.seed = options.seed + 3;
-      sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
-      baselines::MonadConfig monad_config;
-      monad_config.window_length = window;
-      baselines::MonadPolicy monad(system.ensemble(), monad_config);
-      const auto trace =
-          core::run_scenario(system, monad, core::ScenarioConfig{burst, steps});
-      // Rewards are per-window; normalise to per-30s so lengths compare.
-      const double normalised =
-          trace.aggregate_reward() * (window / 30.0);
-      table.add_row({format_double(window, 0), "monad", label,
-                     format_double(normalised, 1),
-                     format_double(trace.mean_response_time(), 1),
-                     format_double(trace.total_wip_series().back(), 1)});
-    }
-
-    // MIRAS with a fixed (reduced) training budget at this window length.
+  std::vector<std::vector<std::string>> rows;
+  // Deterministic MPC controller.
+  for (const auto& [label, burst] : scenarios) {
     sim::SystemConfig config;
     config.consumer_budget = workflows::kMsdConsumerBudget;
     config.window_length = window;
-    config.seed = options.seed + 4;
+    config.seed = options.seed + 3;
     sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
-    core::MirasConfig miras_config = core::miras_msd_fast_config();
-    miras_config.outer_iterations = options.full ? 8 : 5;
-    miras_config.seed = options.seed + 5;
-    core::MirasAgent agent(&system, miras_config);
-    agent.train();
-    auto policy = agent.make_policy();
-    for (const auto& [label, burst] : scenarios) {
-      sim::SystemConfig eval_config = config;
-      eval_config.seed = options.seed + 6;
-      sim::MicroserviceSystem eval_system(workflows::make_msd_ensemble(),
-                                          eval_config);
-      const auto trace = core::run_scenario(eval_system, *policy,
-                                            core::ScenarioConfig{burst, steps});
-      const double normalised = trace.aggregate_reward() * (window / 30.0);
-      table.add_row({format_double(window, 0), "miras", label,
-                     format_double(normalised, 1),
-                     format_double(trace.mean_response_time(), 1),
-                     format_double(trace.total_wip_series().back(), 1)});
+    baselines::MonadConfig monad_config;
+    monad_config.window_length = window;
+    baselines::MonadPolicy monad(system.ensemble(), monad_config);
+    const auto trace =
+        core::run_scenario(system, monad, core::ScenarioConfig{burst, steps});
+    // Rewards are per-window; normalise to per-30s so lengths compare.
+    const double normalised = trace.aggregate_reward() * (window / 30.0);
+    rows.push_back({format_double(window, 0), "monad", label,
+                    format_double(normalised, 1),
+                    format_double(trace.mean_response_time(), 1),
+                    format_double(trace.total_wip_series().back(), 1)});
+  }
+
+  // MIRAS with a fixed (reduced) training budget at this window length.
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.window_length = window;
+  config.seed = options.seed + 4;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+  core::MirasConfig miras_config = core::miras_msd_fast_config();
+  miras_config.outer_iterations = options.full ? 8 : 5;
+  miras_config.seed = options.seed + 5;
+  core::MirasAgent agent(&system, miras_config);
+  agent.train();
+  auto policy = agent.make_policy();
+  for (const auto& [label, burst] : scenarios) {
+    sim::SystemConfig eval_config = config;
+    eval_config.seed = options.seed + 6;
+    sim::MicroserviceSystem eval_system(workflows::make_msd_ensemble(),
+                                        eval_config);
+    const auto trace = core::run_scenario(eval_system, *policy,
+                                          core::ScenarioConfig{burst, steps});
+    const double normalised = trace.aggregate_reward() * (window / 30.0);
+    rows.push_back({format_double(window, 0), "miras", label,
+                    format_double(normalised, 1),
+                    format_double(trace.mean_response_time(), 1),
+                    format_double(trace.total_wip_series().back(), 1)});
+  }
+  return rows;
+}
+
+void run_window_ablation(const bench::BenchOptions& options) {
+  const std::vector<double> windows{5.0, 15.0, 30.0};
+
+  // The window arms are independent; run them concurrently and assemble the
+  // table serially in window order.
+  const auto pool = bench::make_pool(options);
+  std::vector<std::vector<std::vector<std::string>>> arm_rows(windows.size());
+  {
+    const bench::ScopedTimer timer("window-length ablation", options.threads);
+    const auto run_arm = [&](std::size_t i) {
+      arm_rows[i] = run_window_arm(windows[i], options);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(windows.size(), run_arm);
+    } else {
+      for (std::size_t i = 0; i < windows.size(); ++i) run_arm(i);
     }
-    std::cout << "window " << window << " s done\n";
+  }
+
+  Table table({"window_s", "controller", "scenario", "aggregate_reward",
+               "mean_rt_s", "final_total_wip"});
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    for (const auto& row : arm_rows[i]) table.add_row(row);
+    std::cout << "window " << windows[i] << " s done\n";
   }
   bench::emit(table, options,
               "Window-length ablation (rewards normalised per 30 s)");

@@ -3,6 +3,7 @@
 // corresponding paper figure plots, as aligned tables (and CSV on request).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/thread_pool.h"
 #include "core/evaluation.h"
 #include "rl/policy.h"
 #include "sim/system.h"
@@ -29,6 +31,10 @@ struct BenchOptions {
   /// Optional dataset filter for benches covering both ensembles:
   /// "msd", "ligo", or "" (both).
   std::string dataset;
+  /// Worker threads (--threads N; --threads 0 means all hardware threads).
+  /// Result tables are byte-identical for every value — only wall time
+  /// changes. Timing goes to stderr so stdout stays comparable.
+  std::size_t threads = 1;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -43,22 +49,60 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--dataset" && i + 1 < argc) {
       options.dataset = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      options.threads = std::strtoull(argv[++i], nullptr, 10);
+      if (options.threads == 0)
+        options.threads = common::ThreadPool::hardware_threads();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--full] [--csv] [--seed N] [--dataset msd|ligo]\n";
+                << " [--full] [--csv] [--seed N] [--dataset msd|ligo]"
+                   " [--threads N]\n";
       std::exit(0);
     }
   }
   return options;
 }
 
+/// Pool for the requested worker count, or null for the single-threaded
+/// path. Both paths produce identical results by construction; the null
+/// pool just skips the dispatch overhead.
+inline std::unique_ptr<common::ThreadPool> make_pool(
+    const BenchOptions& options) {
+  if (options.threads <= 1) return nullptr;
+  return std::make_unique<common::ThreadPool>(options.threads);
+}
+
+/// Prints "[timing] <label>: <seconds>s (threads=N)" to stderr on
+/// destruction. stderr, so `--threads 1` and `--threads N` stdout stay
+/// byte-comparable; diff the tables, compare the timings.
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string label, std::size_t threads)
+      : label_(std::move(label)),
+        threads_(threads),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_);
+    std::cerr << "[timing] " << label_ << ": " << elapsed.count()
+              << "s (threads=" << threads_ << ")\n";
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string label_;
+  std::size_t threads_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 inline void emit(const Table& table, const BenchOptions& options,
-                 const std::string& title) {
-  std::cout << "\n## " << title << "\n";
+                 const std::string& title, std::ostream& out = std::cout) {
+  out << "\n## " << title << "\n";
   if (options.csv) {
-    table.write_csv(std::cout);
+    table.write_csv(out);
   } else {
-    table.write_aligned(std::cout);
+    table.write_aligned(out);
   }
 }
 

@@ -13,6 +13,7 @@
 // and LIGO. Default scale: 3,000 / 6,000 training entries (paper: 14,000 /
 // 37,000 — pass --full).
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -61,14 +62,15 @@ envmodel::TransitionDataset collect_random_trace(
   return data;
 }
 
-void run_fig5(const Fig5Setup& setup, const BenchOptions& options) {
+void run_fig5(const Fig5Setup& setup, const BenchOptions& options,
+              std::ostream& out) {
   sim::SystemConfig config;
   config.consumer_budget = setup.budget;
   config.seed = options.seed;
   sim::MicroserviceSystem system(setup.ensemble, config);
 
-  std::cout << "\n=== Figure 5 (" << setup.name << "): collecting "
-            << setup.train_entries << " training + 100 test entries\n";
+  out << "\n=== Figure 5 (" << setup.name << "): collecting "
+      << setup.train_entries << " training + 100 test entries\n";
   envmodel::TransitionDataset all =
       collect_random_trace(system, setup.train_entries + 100, options.seed + 7);
   auto [train, test] = all.split_tail(100);
@@ -76,9 +78,9 @@ void run_fig5(const Fig5Setup& setup, const BenchOptions& options) {
   envmodel::DynamicsModel model(system.state_dim(), system.action_dim(),
                                 setup.model_config);
   const double train_loss = model.fit(train);
-  std::cout << "final-epoch training loss (normalised): " << train_loss
-            << ", held-out one-step MSE (raw WIP): " << model.evaluate(test)
-            << "\n";
+  out << "final-epoch training loss (normalised): " << train_loss
+      << ", held-out one-step MSE (raw WIP): " << model.evaluate(test)
+      << "\n";
 
   // Fixed-input and iterative prediction traces over the 100 test points.
   Table table({"step", "reward_truth", "reward_fixed", "reward_iterative",
@@ -101,13 +103,12 @@ void run_fig5(const Fig5Setup& setup, const BenchOptions& options) {
     rolling_state = iterative;
     for (double& w : rolling_state) w = std::max(w, 0.0);
   }
-  bench::emit(table, options, "Figure 5 series — " + setup.name);
-  std::cout << "mean |reward error|: fixed-input="
-            << fixed_reward_err / static_cast<double>(test.size())
-            << "  iterative="
-            << iter_reward_err / static_cast<double>(test.size())
-            << "  (iterative should be moderately higher: cumulative error;"
-               " both should track the trend)\n";
+  bench::emit(table, options, "Figure 5 series — " + setup.name, out);
+  out << "mean |reward error|: fixed-input="
+      << fixed_reward_err / static_cast<double>(test.size())
+      << "  iterative=" << iter_reward_err / static_cast<double>(test.size())
+      << "  (iterative should be moderately higher: cumulative error;"
+         " both should track the trend)\n";
 }
 
 }  // namespace
@@ -117,6 +118,7 @@ int main(int argc, char** argv) {
   using namespace miras;
   const auto options = bench::parse_options(argc, argv);
 
+  std::vector<Fig5Setup> setups;
   if (options.dataset.empty() || options.dataset == "msd") {
     Fig5Setup msd{"MSD", workflows::make_msd_ensemble(),
                   workflows::kMsdConsumerBudget,
@@ -124,7 +126,7 @@ int main(int argc, char** argv) {
                   {}};
     msd.model_config.hidden_dims = {20, 20, 20};  // §VI-A3
     msd.model_config.epochs = options.full ? 60 : 40;
-    run_fig5(msd, options);
+    setups.push_back(std::move(msd));
   }
   if (options.dataset.empty() || options.dataset == "ligo") {
     Fig5Setup ligo{"LIGO", workflows::make_ligo_ensemble(),
@@ -133,7 +135,24 @@ int main(int argc, char** argv) {
                    {}};
     ligo.model_config.hidden_dims = {20};  // 1-layer, counters overfitting
     ligo.model_config.epochs = options.full ? 60 : 40;
-    run_fig5(ligo, options);
+    setups.push_back(std::move(ligo));
   }
+
+  // Dataset sections are independent; run them concurrently with buffered
+  // output, printed in dataset order so stdout never depends on timing.
+  const auto pool = bench::make_pool(options);
+  std::vector<std::ostringstream> buffers(setups.size());
+  {
+    const bench::ScopedTimer timer("fig5 total", options.threads);
+    const auto run_section = [&](std::size_t i) {
+      run_fig5(setups[i], options, buffers[i]);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(setups.size(), run_section);
+    } else {
+      for (std::size_t i = 0; i < setups.size(); ++i) run_section(i);
+    }
+  }
+  for (const auto& buffer : buffers) std::cout << buffer.str();
   return 0;
 }

@@ -11,6 +11,7 @@
 // (~1 minute per dataset). --full: the paper's 11 iterations x 1000/2000
 // steps with 3x256 / 3x512 networks (hours).
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.h"
 #include "core/miras_agent.h"
@@ -22,15 +23,15 @@ namespace {
 
 void run_fig6(const std::string& name, workflows::Ensemble ensemble,
               int budget, core::MirasConfig config,
-              const bench::BenchOptions& options) {
+              const bench::BenchOptions& options, std::ostream& out) {
   sim::SystemConfig system_config;
   system_config.consumer_budget = budget;
   system_config.seed = options.seed;
   sim::MicroserviceSystem system(std::move(ensemble), system_config);
 
-  std::cout << "\n=== Figure 6 (" << name << "): " << config.outer_iterations
-            << " iterations x " << config.real_steps_per_iteration
-            << " real steps, eval over " << config.eval_steps << " steps\n";
+  out << "\n=== Figure 6 (" << name << "): " << config.outer_iterations
+      << " iterations x " << config.real_steps_per_iteration
+      << " real steps, eval over " << config.eval_steps << " steps\n";
   core::MirasAgent agent(&system, config);
   Table table({"iteration", "real_steps_total", "dataset_size",
                "model_train_loss", "eval_aggregate_reward"});
@@ -42,12 +43,18 @@ void run_fig6(const std::string& name, workflows::Ensemble ensemble,
          std::to_string(trace.dataset_size),
          format_double(trace.model_train_loss, 4),
          format_double(trace.eval_aggregate_reward, 1)});
-    std::cout << "  iteration " << trace.iteration
-              << ": eval aggregated reward "
-              << format_double(trace.eval_aggregate_reward, 1) << "\n";
+    out << "  iteration " << trace.iteration << ": eval aggregated reward "
+        << format_double(trace.eval_aggregate_reward, 1) << "\n";
   }
-  bench::emit(table, options, "Figure 6 training trace — " + name);
+  bench::emit(table, options, "Figure 6 training trace — " + name, out);
 }
+
+struct Fig6Section {
+  std::string name;
+  workflows::Ensemble ensemble;
+  int budget = 0;
+  core::MirasConfig config;
+};
 
 }  // namespace
 }  // namespace miras
@@ -56,19 +63,40 @@ int main(int argc, char** argv) {
   using namespace miras;
   const auto options = bench::parse_options(argc, argv);
 
+  std::vector<Fig6Section> sections;
   if (options.dataset.empty() || options.dataset == "msd") {
     core::MirasConfig config = options.full ? core::miras_msd_config()
                                             : core::miras_msd_fast_config();
     config.seed = options.seed + 4;
-    run_fig6("MSD", workflows::make_msd_ensemble(),
-             workflows::kMsdConsumerBudget, config, options);
+    sections.push_back(Fig6Section{"MSD", workflows::make_msd_ensemble(),
+                                   workflows::kMsdConsumerBudget, config});
   }
   if (options.dataset.empty() || options.dataset == "ligo") {
     core::MirasConfig config = options.full ? core::miras_ligo_config()
                                             : core::miras_ligo_fast_config();
     config.seed = options.seed + 5;
-    run_fig6("LIGO", workflows::make_ligo_ensemble(),
-             workflows::kLigoConsumerBudget, config, options);
+    sections.push_back(Fig6Section{"LIGO", workflows::make_ligo_ensemble(),
+                                   workflows::kLigoConsumerBudget, config});
   }
+
+  // The two training traces are independent; run them concurrently with
+  // buffered output, printed in dataset order so stdout never depends on
+  // timing.
+  const auto pool = bench::make_pool(options);
+  std::vector<std::ostringstream> buffers(sections.size());
+  {
+    const bench::ScopedTimer timer("fig6 total", options.threads);
+    const auto run_section = [&](std::size_t i) {
+      Fig6Section& section = sections[i];
+      run_fig6(section.name, std::move(section.ensemble), section.budget,
+               section.config, options, buffers[i]);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(sections.size(), run_section);
+    } else {
+      for (std::size_t i = 0; i < sections.size(); ++i) run_section(i);
+    }
+  }
+  for (const auto& buffer : buffers) std::cout << buffer.str();
   return 0;
 }

@@ -1,0 +1,117 @@
+// Microbenchmarks of the parallel execution layer (google-benchmark):
+// ThreadPool dispatch overhead, parallel_for scaling on simulator-sized
+// work units, seed-shard derivation, and the evaluation grid at 1..N
+// workers (same result every time — only the wall clock moves).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/heft.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/evaluation.h"
+#include "sim/system.h"
+#include "workflows/msd.h"
+
+namespace miras {
+namespace {
+
+void BM_ShardSeed(benchmark::State& state) {
+  std::uint64_t root = 0x1234;
+  std::uint64_t shard = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shard_seed(root, shard));
+    ++shard;
+  }
+}
+BENCHMARK(BM_ShardSeed);
+
+void BM_SubmitOverhead(benchmark::State& state) {
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto future = pool.submit([] { return 1; });
+    benchmark::DoNotOptimize(future.get());
+  }
+}
+BENCHMARK(BM_SubmitOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// Simulator-sized work unit: one short seed-sharded episode. The per-shard
+// cost (~hundreds of microseconds) is what EvaluationHarness and the MIRAS
+// collection loop hand the pool, so this measures realistic scaling, not a
+// synthetic spin loop.
+void run_episode_shard(std::uint64_t seed) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = seed;
+  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+  std::vector<double> wip = system.reset();
+  const std::vector<int> hold(system.action_dim(),
+                              config.consumer_budget /
+                                  static_cast<int>(system.action_dim()));
+  for (int step = 0; step < 5; ++step) {
+    const sim::StepResult result = system.step(hold);
+    wip = result.state;
+  }
+  benchmark::DoNotOptimize(wip.data());
+}
+
+void BM_ParallelForEpisodes(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  common::ThreadPool pool(threads);
+  constexpr std::size_t kShards = 16;
+  for (auto _ : state) {
+    pool.parallel_for(kShards,
+                      [](std::size_t i) { run_episode_shard(shard_seed(7, i)); });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kShards));
+}
+BENCHMARK(BM_ParallelForEpisodes)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvaluationGrid(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  common::ThreadPool pool(threads);
+  const workflows::Ensemble ensemble = workflows::make_msd_ensemble();
+  core::EvaluationHarness harness(
+      [](std::uint64_t seed) {
+        sim::SystemConfig config;
+        config.consumer_budget = workflows::kMsdConsumerBudget;
+        config.seed = seed;
+        return sim::MicroserviceSystem(workflows::make_msd_ensemble(), config);
+      },
+      &pool);
+  const std::vector<core::PolicySpec> policies{{"heft", [&ensemble] {
+                                                  return std::make_unique<
+                                                      baselines::HeftPolicy>(
+                                                      ensemble);
+                                                }}};
+  const std::vector<core::ScenarioSpec> scenarios{
+      {"steady", core::ScenarioConfig{sim::BurstSpec{}, 10}},
+      {"burst", core::ScenarioConfig{sim::BurstSpec{{100, 100, 100}}, 10}}};
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  for (auto _ : state) {
+    const core::GridResult grid = harness.run(policies, scenarios, seeds, 4);
+    benchmark::DoNotOptimize(grid.summaries.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(scenarios.size() * seeds.size()));
+}
+BENCHMARK(BM_EvaluationGrid)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace miras
+
+BENCHMARK_MAIN();

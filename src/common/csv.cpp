@@ -26,11 +26,29 @@ void Table::add_numeric_row(const std::vector<double>& cells, int precision) {
   add_row(std::move(formatted));
 }
 
+namespace {
+// RFC 4180: a cell is quoted iff it contains a separator, a quote, or a
+// line break; embedded quotes are doubled. Everything else passes through
+// verbatim so numeric output stays byte-stable.
+void write_csv_cell(std::ostream& out, const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+    out << cell;
+    return;
+  }
+  out << '"';
+  for (const char c : cell) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+}  // namespace
+
 void Table::write_csv(std::ostream& out) const {
   auto write_row = [&out](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       if (i > 0) out << ',';
-      out << row[i];
+      write_csv_cell(out, row[i]);
     }
     out << '\n';
   };

@@ -25,7 +25,8 @@ class Table {
   /// Convenience: formats doubles with the given precision.
   void add_numeric_row(const std::vector<double>& cells, int precision = 4);
 
-  /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
+  /// Renders as RFC-4180 CSV: cells containing a comma, double quote, or
+  /// line break are quoted, with embedded quotes doubled.
   void write_csv(std::ostream& out) const;
 
   /// Renders as a space-aligned table for terminal output.

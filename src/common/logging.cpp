@@ -1,11 +1,21 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace miras {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serialises line emission so concurrent workers never interleave
+// characters within a line. Lines from different threads may still appear
+// in either order — ordering across threads is not a logging guarantee.
+std::mutex& emission_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,12 +29,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(emission_mutex());
   std::cerr << "[miras:" << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,7 +1,8 @@
 // Leveled logging to stderr. Library code logs sparingly (INFO for training
 // progress milestones, WARN for recoverable oddities); the level is a global
-// knob so benches/tests can silence it. Not thread-safe by design — the whole
-// stack is single-threaded and deterministic.
+// knob so benches/tests can silence it. Thread-safe: the level is atomic and
+// each emitted line is written under a mutex, so concurrent pool workers
+// (common/thread_pool.h) never interleave characters within a line.
 #pragma once
 
 #include <sstream>

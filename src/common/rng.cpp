@@ -14,6 +14,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t shard_seed(std::uint64_t root_seed, std::uint64_t shard_index) {
+  // Mix the root into the index twice; a single round leaves visible
+  // correlations between (root, i) and (root + 1, i + k) pairs because
+  // splitmix64 advances its state by a fixed odd constant.
+  std::uint64_t state = root_seed ^ (0x9e3779b97f4a7c15ULL * (shard_index + 1));
+  std::uint64_t mixed = splitmix64(state);
+  state ^= mixed;
+  return splitmix64(state);
+}
+
 namespace {
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

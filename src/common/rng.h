@@ -17,6 +17,13 @@ namespace miras {
 /// splitmix64 step; used for seeding and as a cheap stateless mixer.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Seed for parallel shard `shard_index` of a computation rooted at
+/// `root_seed`. Two splitmix64 mixing rounds decorrelate neighbouring
+/// shards and neighbouring roots. Every parallel unit seeds its own Rng
+/// from this, so the *decomposition* of the work — never the worker count
+/// or scheduling order — determines all random streams.
+std::uint64_t shard_seed(std::uint64_t root_seed, std::uint64_t shard_index);
+
 /// Deterministic xoshiro256++ generator with portable distributions.
 class Rng {
  public:

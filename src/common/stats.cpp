@@ -40,8 +40,9 @@ void RunningStats::merge(const RunningStats& other) {
 }
 
 double RunningStats::variance() const {
+  // Bessel's correction: one degree of freedom is spent on the mean.
   if (count_ < 2) return 0.0;
-  return m2_ / static_cast<double>(count_);
+  return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }

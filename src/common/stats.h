@@ -16,7 +16,10 @@ class RunningStats {
 
   std::size_t count() const { return count_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }
-  /// Population variance; 0 for fewer than 2 samples.
+  /// Sample variance (Bessel-corrected, m2 / (n - 1)), matching the
+  /// confidence-interval uses downstream; 0 for fewer than 2 samples.
+  /// merge() combines the raw second moments, so merged and streamed
+  /// statistics agree exactly.
   double variance() const;
   double stddev() const;
   double min() const { return min_; }

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/contracts.h"
+
+namespace miras::common {
+
+struct ThreadPool::LoopState {
+  std::size_t count = 0;
+  std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> active{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;  // first failure wins, guarded by mutex
+
+  // Claims and runs indices until none remain (or a body failed). Every
+  // participant — workers and the calling thread alike — runs this same
+  // loop, so progress never depends on a worker being free. A runner that
+  // starts after the loop is drained (a queued helper stuck behind a long
+  // unrelated task) just no-ops; the caller never waits for it.
+  //
+  // The active/next operations are seq_cst on purpose: a runner increments
+  // `active` before claiming from `next`, and the caller may only observe
+  // active == 0 after draining `next` itself — under the single total
+  // order, any runner ordered after that observation must then see
+  // next >= count and cannot start a body the caller no longer waits for.
+  void run() {
+    active.fetch_add(1);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        // Stop handing out new indices; in-flight bodies finish naturally.
+        next.store(count);
+      }
+    }
+    if (active.fetch_sub(1) == 1) {
+      std::lock_guard<std::mutex> lock(mutex);
+      done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(threads, 1);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MIRAS_EXPECTS(!stopping_);
+    queue_.push(std::move(task));
+  }
+  available_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  auto state = std::make_shared<LoopState>();
+  state->count = count;
+  state->body = body;
+
+  // One runner per worker that could usefully help; the calling thread is
+  // the final participant, so even a fully busy pool completes the loop.
+  const std::size_t helpers = std::min(workers_.size(), count - 1);
+  for (std::size_t h = 0; h < helpers; ++h)
+    enqueue([state] { state->run(); });
+  state->run();
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->active.load() == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace miras::common

@@ -1,0 +1,88 @@
+// Fixed-size worker pool with a deterministic parallel_for.
+//
+// The pool exists to make the embarrassingly parallel parts of the stack
+// (evaluation grids, episode collection, synthetic rollouts) scale with the
+// machine *without* giving up the bit-for-bit reproducibility contract:
+//
+//  - parallel_for assigns work by *index*, and callers are expected to
+//    derive any per-unit randomness from (root_seed, index) via shard_seed()
+//    and to write results into preallocated index slots. The decomposition
+//    then fixes every random stream and every merge order, so worker count
+//    and scheduling cannot change the result.
+//  - The calling thread participates in parallel_for (it claims indices
+//    alongside the workers), which makes nested parallel_for calls from
+//    inside pool tasks deadlock-free by construction: even with every
+//    worker busy, the nested caller drains its own loop.
+//
+// submit() is a conventional future-returning escape hatch for coarse
+// one-off tasks (e.g. "train these two agents concurrently"). Blocking on a
+// future *from inside a pool task* can deadlock a fully loaded pool; prefer
+// nested parallel_for, or consume futures only from threads that do not
+// live in the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace miras::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one). `ThreadPool(1)` behaves like a
+  /// serial executor with the same task ordering guarantees, which is what
+  /// `--threads 1` maps to.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Reasonable default worker count for this machine.
+  static std::size_t hardware_threads();
+
+  /// Enqueues `fn` and returns its future. Exceptions thrown by `fn` are
+  /// captured and rethrown from future::get().
+  template <typename Fn, typename R = std::invoke_result_t<std::decay_t<Fn>>>
+  std::future<R> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(0) .. body(count-1), each exactly once, distributed over the
+  /// workers *and* the calling thread. Returns when every index has
+  /// finished. The first exception thrown by any body is rethrown here
+  /// (remaining unclaimed indices are abandoned). Safe to call from inside
+  /// a pool task (nested loops make progress on the nested caller).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  // Shared state of one parallel_for call. Runner tasks may outlive the
+  // call itself (they no-op once every index is claimed), so the state is
+  // owned by shared_ptr.
+  struct LoopState;
+
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  bool stopping_ = false;
+};
+
+}  // namespace miras::common

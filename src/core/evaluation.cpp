@@ -1,5 +1,7 @@
 #include "core/evaluation.h"
 
+#include <utility>
+
 #include "common/contracts.h"
 #include "common/stats.h"
 
@@ -43,6 +45,91 @@ double EvaluationTrace::tail_mean_response_time(std::size_t count) const {
   for (std::size_t i = series.size() - tail; i < series.size(); ++i)
     total += series[i];
   return total / static_cast<double>(tail);
+}
+
+const GridCell& GridResult::cell(std::size_t scenario, std::size_t policy,
+                                 std::size_t replication) const {
+  const std::size_t index =
+      (scenario * num_policies + policy) * num_replications + replication;
+  MIRAS_EXPECTS(index < cells.size());
+  return cells[index];
+}
+
+const GridSummary& GridResult::summary(std::size_t scenario,
+                                       std::size_t policy) const {
+  const std::size_t index = scenario * num_policies + policy;
+  MIRAS_EXPECTS(index < summaries.size());
+  return summaries[index];
+}
+
+EvaluationHarness::EvaluationHarness(SystemFactory make_system,
+                                     common::ThreadPool* pool)
+    : make_system_(std::move(make_system)), pool_(pool) {
+  MIRAS_EXPECTS(make_system_ != nullptr);
+}
+
+GridResult EvaluationHarness::run(const std::vector<PolicySpec>& policies,
+                                  const std::vector<ScenarioSpec>& scenarios,
+                                  const std::vector<std::uint64_t>& seeds,
+                                  std::size_t tail_windows) const {
+  MIRAS_EXPECTS(!policies.empty());
+  MIRAS_EXPECTS(!scenarios.empty());
+  MIRAS_EXPECTS(!seeds.empty());
+
+  GridResult result;
+  result.num_policies = policies.size();
+  result.num_replications = seeds.size();
+  result.cells.resize(scenarios.size() * policies.size() * seeds.size());
+
+  // Every cell is an independent deterministic episode: its own system
+  // (seeded by replication) and its own fresh policy instance. Results land
+  // in index slots, so scheduling cannot reorder anything.
+  auto run_cell = [&](std::size_t index) {
+    const std::size_t replication = index % seeds.size();
+    const std::size_t policy_index = (index / seeds.size()) % policies.size();
+    const std::size_t scenario_index =
+        index / (seeds.size() * policies.size());
+    GridCell& cell = result.cells[index];
+    cell.scenario_index = scenario_index;
+    cell.policy_index = policy_index;
+    cell.replication = replication;
+    cell.system_seed = seeds[replication];
+    sim::MicroserviceSystem system = make_system_(cell.system_seed);
+    const std::unique_ptr<rl::Policy> policy = policies[policy_index].make();
+    MIRAS_EXPECTS(policy != nullptr);
+    cell.trace =
+        run_scenario(system, *policy, scenarios[scenario_index].config);
+    cell.trace.policy_name = policies[policy_index].label;
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(result.cells.size(), run_cell);
+  } else {
+    for (std::size_t i = 0; i < result.cells.size(); ++i) run_cell(i);
+  }
+
+  // Serial merge in index order: replication-level samples are add()ed,
+  // window-level response times are merged cell-by-cell via merge().
+  result.summaries.reserve(scenarios.size() * policies.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      GridSummary summary;
+      summary.scenario = scenarios[s].label;
+      summary.policy = policies[p].label;
+      summary.replications = seeds.size();
+      for (std::size_t k = 0; k < seeds.size(); ++k) {
+        const EvaluationTrace& trace = result.cell(s, p, k).trace;
+        summary.aggregate_reward.add(trace.aggregate_reward());
+        summary.tail_response_time.add(
+            trace.tail_mean_response_time(tail_windows));
+        summary.final_total_wip.add(trace.total_wip_series().back());
+        RunningStats windows;
+        for (const double rt : trace.response_time_series()) windows.add(rt);
+        summary.response_time.merge(windows);
+      }
+      result.summaries.push_back(std::move(summary));
+    }
+  }
+  return result;
 }
 
 EvaluationTrace run_scenario(sim::MicroserviceSystem& env, rl::Policy& policy,

@@ -1,5 +1,7 @@
 #include "core/miras_agent.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "common/contracts.h"
@@ -9,6 +11,20 @@
 #include "sim/system.h"
 
 namespace miras::core {
+
+namespace {
+// Exponential spacings: a uniform draw from the probability simplex.
+std::vector<double> random_simplex_weights(std::size_t dim, Rng& rng) {
+  std::vector<double> weights(dim);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.exponential(1.0);
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+}  // namespace
 
 MirasAgent::MirasAgent(sim::Env* env, MirasConfig config)
     : env_(env),
@@ -24,26 +40,31 @@ MirasAgent::MirasAgent(sim::Env* env, MirasConfig config)
   MIRAS_EXPECTS(config_.reset_interval > 0);
 }
 
-std::vector<double> MirasAgent::random_simplex_weights() {
-  std::vector<double> weights(env_->action_dim());
-  double total = 0.0;
-  for (double& w : weights) {
-    w = rng_.exponential(1.0);
-    total += w;
-  }
-  for (double& w : weights) w /= total;
-  return weights;
+void MirasAgent::enable_parallel_collection(common::ThreadPool* pool,
+                                            EnvFactory make_env) {
+  MIRAS_EXPECTS(make_env != nullptr);
+  pool_ = pool;
+  env_factory_ = std::move(make_env);
 }
 
-void MirasAgent::maybe_inject_collection_burst() {
+void MirasAgent::for_each_shard(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+  if (pool_ != nullptr) {
+    pool_->parallel_for(count, body);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+  }
+}
+
+void MirasAgent::maybe_inject_collection_burst(sim::Env* env, Rng& rng) {
   if (config_.collection_burst_probability <= 0.0) return;
-  if (rng_.uniform() >= config_.collection_burst_probability) return;
-  auto* system = dynamic_cast<sim::MicroserviceSystem*>(env_);
+  if (rng.uniform() >= config_.collection_burst_probability) return;
+  auto* system = dynamic_cast<sim::MicroserviceSystem*>(env);
   if (system == nullptr) return;
   sim::BurstSpec burst;
   burst.counts.resize(system->ensemble().num_workflows());
   for (auto& count : burst.counts)
-    count = static_cast<std::size_t>(rng_.uniform_int(
+    count = static_cast<std::size_t>(rng.uniform_int(
         0, static_cast<std::int64_t>(config_.collection_burst_max)));
   system->inject_burst(burst);
 }
@@ -66,8 +87,8 @@ std::vector<int> to_allocation(const std::vector<double>& weights, int budget,
 }
 }  // namespace
 
-MirasAgent::Behavior MirasAgent::pick_behavior() {
-  const double u = rng_.uniform();
+MirasAgent::Behavior MirasAgent::pick_behavior(Rng& rng) {
+  const double u = rng.uniform();
   if (u < config_.demo_episode_fraction) return Behavior::kDemo;
   if (u < config_.demo_episode_fraction + config_.random_episode_fraction)
     return Behavior::kRandom;
@@ -75,36 +96,43 @@ MirasAgent::Behavior MirasAgent::pick_behavior() {
 }
 
 std::vector<double> MirasAgent::behavior_weights(
-    Behavior behavior, const std::vector<double>& state) {
+    Behavior behavior, const std::vector<double>& state, Rng& rng,
+    rl::ExplorationSnapshot* snapshot) {
   switch (behavior) {
     case Behavior::kRandom:
-      return random_simplex_weights();
+      return random_simplex_weights(env_->action_dim(), rng);
     case Behavior::kDemo: {
       // WIP-proportional demonstration (+1 keeps idle queues warm; mild
       // noise varies the demonstrations between episodes).
       std::vector<double> weights(state.size());
       double total = 0.0;
       for (std::size_t j = 0; j < state.size(); ++j) {
-        weights[j] = (std::max(state[j], 0.0) + 1.0) * rng_.uniform(0.75, 1.25);
+        weights[j] = (std::max(state[j], 0.0) + 1.0) * rng.uniform(0.75, 1.25);
         total += weights[j];
       }
       for (double& w : weights) w /= total;
       return weights;
     }
     case Behavior::kPolicy:
-      return agent_.act(state, /*explore=*/true);
+      return snapshot != nullptr ? snapshot->act(state, rng)
+                                 : agent_.act(state, /*explore=*/true);
   }
-  return random_simplex_weights();
+  return random_simplex_weights(env_->action_dim(), rng);
 }
 
 void MirasAgent::collect_real_interactions(std::size_t steps,
                                            bool random_actions) {
+  if (env_factory_) {
+    collect_real_interactions_sharded(steps, random_actions);
+    return;
+  }
   std::vector<double> state = env_->reset();
-  maybe_inject_collection_burst();
+  maybe_inject_collection_burst(env_, rng_);
   agent_.resample_exploration();
-  Behavior behavior = random_actions ? Behavior::kRandom : pick_behavior();
+  Behavior behavior = random_actions ? Behavior::kRandom : pick_behavior(rng_);
   for (std::size_t step = 0; step < steps; ++step) {
-    const std::vector<double> weights = behavior_weights(behavior, state);
+    const std::vector<double> weights =
+        behavior_weights(behavior, state, rng_, nullptr);
     const std::vector<int> allocation =
         to_allocation(weights, env_->consumer_budget(), config_.ddpg);
     const sim::StepResult result = env_->step(allocation);
@@ -118,14 +146,84 @@ void MirasAgent::collect_real_interactions(std::size_t steps,
 
     if ((step + 1) % config_.reset_interval == 0 && step + 1 < steps) {
       state = env_->reset();
-      maybe_inject_collection_burst();
+      maybe_inject_collection_burst(env_, rng_);
       agent_.resample_exploration();
-      behavior = random_actions ? Behavior::kRandom : pick_behavior();
+      behavior =
+          random_actions ? Behavior::kRandom : pick_behavior(rng_);
     }
   }
 }
 
+MirasAgent::CollectedEpisode MirasAgent::run_collection_episode(
+    const EpisodeSpec& spec, bool random_actions) {
+  // Every stochastic choice of the episode — environment arrivals, burst,
+  // behaviour, exploration — flows from the episode's shard seed, in a
+  // fixed draw order, so the episode is a pure function of its spec.
+  Rng ep_rng(spec.seed);
+  const std::uint64_t env_seed = ep_rng.next_u64();
+  const std::unique_ptr<sim::Env> env = env_factory_(env_seed);
+  MIRAS_EXPECTS(env != nullptr);
+
+  std::vector<double> state = env->reset();
+  maybe_inject_collection_burst(env.get(), ep_rng);
+  const Behavior behavior =
+      random_actions ? Behavior::kRandom : pick_behavior(ep_rng);
+  std::optional<rl::ExplorationSnapshot> snapshot;
+  if (behavior == Behavior::kPolicy)
+    snapshot = agent_.snapshot_exploration(ep_rng);
+
+  CollectedEpisode episode;
+  episode.transitions.reserve(spec.length);
+  for (std::size_t step = 0; step < spec.length; ++step) {
+    const std::vector<double> weights = behavior_weights(
+        behavior, state, ep_rng, snapshot ? &*snapshot : nullptr);
+    const std::vector<int> allocation =
+        to_allocation(weights, env->consumer_budget(), config_.ddpg);
+    const sim::StepResult result = env->step(allocation);
+    episode.transitions.push_back(
+        envmodel::Transition{state, allocation, result.state, result.reward});
+    state = result.state;
+  }
+  if (snapshot) episode.constraint_violations = snapshot->constraint_violations();
+  return episode;
+}
+
+void MirasAgent::collect_real_interactions_sharded(std::size_t steps,
+                                                   bool random_actions) {
+  // The shard structure — episode count, lengths, seeds — is fixed up
+  // front from one draw of the agent's stream; worker count never enters.
+  const std::uint64_t collection_root = rng_.next_u64();
+  std::vector<EpisodeSpec> specs;
+  for (std::size_t start = 0; start < steps; start += config_.reset_interval) {
+    EpisodeSpec spec;
+    spec.length = std::min(config_.reset_interval, steps - start);
+    spec.seed = shard_seed(collection_root, specs.size());
+    specs.push_back(spec);
+  }
+
+  std::vector<CollectedEpisode> episodes(specs.size());
+  for_each_shard(specs.size(), [&](std::size_t e) {
+    episodes[e] = run_collection_episode(specs[e], random_actions);
+  });
+
+  // Serial merge in episode order keeps the dataset's episode chaining and
+  // the normaliser's update order deterministic.
+  std::size_t violations = 0;
+  for (CollectedEpisode& episode : episodes) {
+    violations += episode.constraint_violations;
+    for (envmodel::Transition& transition : episode.transitions) {
+      agent_.observe_state_only(transition.state);
+      dataset_.add(std::move(transition));
+    }
+  }
+  agent_.record_constraint_violations(violations);
+}
+
 void MirasAgent::train_policy_on_model() {
+  if (env_factory_) {
+    train_policy_on_model_sharded();
+    return;
+  }
   envmodel::SyntheticEnv synthetic(&model_,
                                    config_.use_refiner ? &refiner_ : nullptr,
                                    &dataset_, env_->consumer_budget(),
@@ -137,9 +235,10 @@ void MirasAgent::train_policy_on_model() {
     // Whole-rollout behaviour selection: the critic's n-step returns then
     // reflect sustained control by the chosen behaviour, not isolated
     // deviations inside an unrelated trajectory.
-    const Behavior behavior = pick_behavior();
+    const Behavior behavior = pick_behavior(rng_);
     for (std::size_t t = 0; t < config_.rollout_length; ++t) {
-      const std::vector<double> weights = behavior_weights(behavior, state);
+      const std::vector<double> weights =
+          behavior_weights(behavior, state, rng_, nullptr);
       const std::vector<int> allocation =
           to_allocation(weights, env_->consumer_budget(), config_.ddpg);
       const sim::StepResult result = synthetic.step(allocation);
@@ -150,6 +249,67 @@ void MirasAgent::train_policy_on_model() {
     }
     agent_.end_episode();
   }
+}
+
+std::vector<MirasAgent::SyntheticStep> MirasAgent::run_synthetic_rollout(
+    std::uint64_t seed) {
+  Rng roll_rng(seed);
+  const std::uint64_t env_seed = roll_rng.next_u64();
+  const Behavior behavior = pick_behavior(roll_rng);
+  std::optional<rl::ExplorationSnapshot> snapshot;
+  if (behavior == Behavior::kPolicy)
+    snapshot = agent_.snapshot_exploration(roll_rng);
+  // The refiner's lend draws are stochastic; each rollout gets its own
+  // reseeded copy so concurrent rollouts never share its stream.
+  envmodel::ModelRefiner refiner = refiner_;
+  if (config_.use_refiner) refiner.reseed(roll_rng.next_u64());
+  envmodel::SyntheticEnv synthetic(&model_,
+                                   config_.use_refiner ? &refiner : nullptr,
+                                   &dataset_, env_->consumer_budget(),
+                                   env_seed);
+  std::vector<SyntheticStep> steps;
+  steps.reserve(config_.rollout_length);
+  std::vector<double> state = synthetic.reset();
+  for (std::size_t t = 0; t < config_.rollout_length; ++t) {
+    const std::vector<double> weights = behavior_weights(
+        behavior, state, roll_rng, snapshot ? &*snapshot : nullptr);
+    const std::vector<int> allocation =
+        to_allocation(weights, env_->consumer_budget(), config_.ddpg);
+    const sim::StepResult result = synthetic.step(allocation);
+    steps.push_back(SyntheticStep{state, weights, result.reward, result.state});
+    state = result.state;
+  }
+  return steps;
+}
+
+void MirasAgent::train_policy_on_model_sharded() {
+  // Rollouts are *generated* in batches from a frozen policy (each batch
+  // snapshots the actor as of the batch start) and *replayed* serially
+  // through observe/update, so the gradient-update sequence is identical
+  // for any worker count. The batch size is config.rollout_batch — an
+  // algorithmic knob, never the thread count.
+  const std::size_t total = config_.synthetic_rollouts_per_iteration;
+  const std::size_t batch = std::max<std::size_t>(config_.rollout_batch, 1);
+  for (std::size_t start = 0; start < total; start += batch) {
+    const std::size_t count = std::min(batch, total - start);
+    const std::uint64_t batch_root = rng_.next_u64();
+    std::vector<std::vector<SyntheticStep>> rollouts(count);
+    for_each_shard(count, [&](std::size_t r) {
+      rollouts[r] = run_synthetic_rollout(shard_seed(batch_root, r));
+    });
+    for (const std::vector<SyntheticStep>& rollout : rollouts) {
+      // An episode boundary: flush pending n-step windows and refresh the
+      // perturbed actor so parameter-noise adaptation keeps tracking the
+      // updated policy.
+      agent_.resample_exploration();
+      for (const SyntheticStep& step : rollout) {
+        agent_.observe(step.state, step.weights,
+                       step.reward * config_.reward_scale, step.next_state);
+        agent_.update(config_.updates_per_synthetic_step);
+      }
+    }
+  }
+  agent_.end_episode();
 }
 
 double MirasAgent::evaluate_on_real(std::size_t steps) {
@@ -232,7 +392,9 @@ DdpgPolicy::DdpgPolicy(rl::DdpgAgent* agent, std::string policy_name)
 std::vector<int> DdpgPolicy::decide(const sim::WindowStats& last_window,
                                     int budget) {
   MIRAS_EXPECTS(budget == agent_->consumer_budget());
-  return agent_->act_allocation(last_window.wip, /*explore=*/false);
+  // The const greedy path: many evaluation-grid cells share one trained
+  // agent concurrently, so the policy must not touch the agent's rng.
+  return agent_->act_allocation_greedy(last_window.wip);
 }
 
 }  // namespace miras::core

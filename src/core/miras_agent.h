@@ -7,9 +7,12 @@
 // model, and (4) scores the resulting policy on the real environment.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/trainer_config.h"
 #include "envmodel/dataset.h"
 #include "envmodel/dynamics_model.h"
@@ -35,8 +38,26 @@ struct IterationTrace {
 
 class MirasAgent {
  public:
+  /// Builds an isolated environment for one collection episode; the seed is
+  /// the episode's shard seed, so the episode's arrivals are a function of
+  /// the decomposition, not of any shared stream.
+  using EnvFactory = std::function<std::unique_ptr<sim::Env>(std::uint64_t)>;
+
   /// `env` must outlive the agent.
   MirasAgent(sim::Env* env, MirasConfig config);
+
+  /// Switches the agent to seed-sharded collection: real-environment
+  /// episodes and synthetic-rollout *generation* run as independent shards
+  /// (on `pool` when given, inline otherwise), and their results are merged
+  /// serially in shard order. Bit-identical for any worker count, including
+  /// no pool at all — but note the sharded data-collection schedule differs
+  /// from the default sequential mode (episodes run on factory-built
+  /// environments with per-episode seeds), so enabling this changes the
+  /// trajectory relative to the sequential agent. DDPG gradient updates
+  /// always stay serial. `pool` (if any) and `make_env` must outlive the
+  /// agent.
+  void enable_parallel_collection(common::ThreadPool* pool,
+                                  EnvFactory make_env);
 
   const MirasConfig& config() const { return config_; }
 
@@ -64,13 +85,44 @@ class MirasAgent {
   /// Episode-level behaviour used for exploration and data collection.
   enum class Behavior { kPolicy, kRandom, kDemo };
 
-  Behavior pick_behavior();
+  /// One seed-sharded unit of real-environment collection.
+  struct EpisodeSpec {
+    std::size_t length = 0;
+    std::uint64_t seed = 0;
+  };
+  struct CollectedEpisode {
+    std::vector<envmodel::Transition> transitions;
+    std::size_t constraint_violations = 0;
+  };
+  /// One step of a generated synthetic rollout, replayed serially through
+  /// the DDPG updates after the batch is generated.
+  struct SyntheticStep {
+    std::vector<double> state;
+    std::vector<double> weights;
+    double reward = 0.0;
+    std::vector<double> next_state;
+  };
+
+  Behavior pick_behavior(Rng& rng);
+  /// kPolicy episodes act through `snapshot` when one is given (parallel
+  /// shards) and through the live agent otherwise (sequential mode).
   std::vector<double> behavior_weights(Behavior behavior,
-                                       const std::vector<double>& state);
-  void maybe_inject_collection_burst();
+                                       const std::vector<double>& state,
+                                       Rng& rng,
+                                       rl::ExplorationSnapshot* snapshot);
+  void maybe_inject_collection_burst(sim::Env* env, Rng& rng);
   void collect_real_interactions(std::size_t steps, bool random_actions);
+  void collect_real_interactions_sharded(std::size_t steps,
+                                         bool random_actions);
+  CollectedEpisode run_collection_episode(const EpisodeSpec& spec,
+                                          bool random_actions);
   void train_policy_on_model();
-  std::vector<double> random_simplex_weights();
+  void train_policy_on_model_sharded();
+  std::vector<SyntheticStep> run_synthetic_rollout(std::uint64_t seed);
+  /// Runs body(0..count-1) on the pool (or inline without one); results
+  /// must land in index slots.
+  void for_each_shard(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
 
   sim::Env* env_;
   MirasConfig config_;
@@ -80,6 +132,8 @@ class MirasAgent {
   envmodel::ModelRefiner refiner_;
   rl::DdpgAgent agent_;
   std::size_t iteration_ = 0;
+  common::ThreadPool* pool_ = nullptr;
+  EnvFactory env_factory_;
 };
 
 /// The paper's model-free comparator: the same DDPG agent trained directly

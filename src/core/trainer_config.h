@@ -69,6 +69,15 @@ struct MirasConfig {
   /// Lend-Giveback model refinement on/off (ablation).
   bool use_refiner = true;
 
+  /// Synthetic rollouts are *generated* in batches of this many when the
+  /// agent runs in parallel mode (enable_parallel_collection): each batch
+  /// snapshots the current policy, generates its rollouts concurrently from
+  /// per-rollout shard seeds, then replays them serially through the DDPG
+  /// updates. The batch size is part of the algorithm (larger batches mean
+  /// staler behaviour policies within a batch), NOT a function of the
+  /// worker count — results are identical for any number of threads.
+  std::size_t rollout_batch = 8;
+
   /// With this probability, a collection episode starts with a random
   /// request burst (each workflow type gets uniform(0, collection_burst_max)
   /// requests). The evaluation scenarios (§VI-D) hit the system with bursts

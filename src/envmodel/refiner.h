@@ -40,8 +40,15 @@ class ModelRefiner {
 
   /// Refined next-state prediction (Algorithm 1 lines 5-15). All outputs
   /// are clamped non-negative. Requires fit_thresholds() was called.
+  /// Stochastic (the lend amount rho is drawn from the refiner's own rng),
+  /// so concurrent callers must each use their own reseed()ed copy.
   std::vector<double> predict(const std::vector<double>& state,
                               const std::vector<int>& action);
+
+  /// Restarts the internal rng from `seed`. Parallel rollouts copy the
+  /// fitted refiner and reseed each copy from its shard seed, which keeps
+  /// the lend draws deterministic per shard instead of per call order.
+  void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
  private:
   const DynamicsModel* model_;

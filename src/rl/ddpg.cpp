@@ -16,6 +16,43 @@ namespace {
 // log1p features live on a ~[0, 8] scale, so the floor shrinks with them.
 constexpr double kMinStddevRaw = 1.0;
 constexpr double kMinStddevLog = 0.1;
+
+// Exponential spacings: a uniform draw from the probability simplex.
+std::vector<double> uniform_simplex_point(std::size_t dim, Rng& rng) {
+  std::vector<double> weights(dim);
+  double total = 0.0;
+  for (double& w : weights) {
+    w = rng.exponential(1.0);
+    total += w;
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+// WIP-proportional demonstration weights (+1 keeps idle queues warm; mild
+// noise varies the demonstrations).
+std::vector<double> wip_proportional_weights(const std::vector<double>& state,
+                                             std::size_t dim, Rng& rng) {
+  std::vector<double> weights(dim);
+  double total = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    weights[j] = (std::max(state[j], 0.0) + 1.0) * rng.uniform(0.75, 1.25);
+    total += weights[j];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+// The would-be allocation a raw (possibly off-simplex) weight vector maps
+// to if consumed verbatim; used to count action-noise budget violations.
+bool raw_weights_violate_budget(const std::vector<double>& weights,
+                                int budget) {
+  std::vector<int> raw_counts(weights.size());
+  for (std::size_t j = 0; j < weights.size(); ++j)
+    raw_counts[j] = static_cast<int>(
+        std::floor(static_cast<double>(budget) * weights[j]));
+  return !satisfies_budget(raw_counts, budget);
+}
 }
 
 DdpgAgent::DdpgAgent(std::size_t state_dim, std::size_t action_dim,
@@ -97,15 +134,15 @@ nn::Tensor DdpgAgent::normalize_states(
 
 std::vector<double> DdpgAgent::act(const std::vector<double>& state,
                                    bool explore) {
-  const std::vector<double> normalized = normalize_state(state);
   if (!explore || config_.exploration == ExplorationMode::kNone)
-    return actor_.predict_one(normalized);
+    return act_greedy(state);
 
   const double roll = rng_.uniform();
   if (roll < config_.epsilon_random) return random_simplex_action();
   if (roll < config_.epsilon_random + config_.epsilon_demo)
     return proportional_demo_action(state);
 
+  const std::vector<double> normalized = normalize_state(state);
   if (config_.exploration == ExplorationMode::kParameterNoise)
     return perturbed_actor_.predict_one(normalized);
 
@@ -114,21 +151,20 @@ std::vector<double> DdpgAgent::act(const std::vector<double>& state,
   // paper observes with this exploration mode (§IV-D).
   const std::vector<double> clean = actor_.predict_one(normalized);
   std::vector<double> noisy = action_noise_.apply(clean, rng_);
-  double total = std::accumulate(noisy.begin(), noisy.end(), 0.0);
-  std::vector<int> raw_counts(noisy.size());
-  for (std::size_t j = 0; j < noisy.size(); ++j)
-    raw_counts[j] = static_cast<int>(
-        std::floor(static_cast<double>(consumer_budget_) * noisy[j]));
-  if (!satisfies_budget(raw_counts, consumer_budget_))
+  if (raw_weights_violate_budget(noisy, consumer_budget_))
     ++constraint_violations_;
-  (void)total;
   return noisy;
 }
 
-std::vector<int> DdpgAgent::act_allocation(const std::vector<double>& state,
-                                           bool explore) {
-  std::vector<int> allocation = allocation_from_weights(
-      act(state, explore), consumer_budget_, config_.rounding);
+std::vector<double> DdpgAgent::act_greedy(
+    const std::vector<double>& state) const {
+  return actor_.predict_one(normalize_state(state));
+}
+
+std::vector<int> DdpgAgent::weights_to_allocation(
+    const std::vector<double>& weights) const {
+  std::vector<int> allocation =
+      allocation_from_weights(weights, consumer_budget_, config_.rounding);
   if (config_.min_consumers_per_type > 0 &&
       consumer_budget_ >= config_.min_consumers_per_type *
                               static_cast<int>(action_dim_)) {
@@ -136,6 +172,79 @@ std::vector<int> DdpgAgent::act_allocation(const std::vector<double>& state,
                                consumer_budget_);
   }
   return allocation;
+}
+
+std::vector<int> DdpgAgent::act_allocation(const std::vector<double>& state,
+                                           bool explore) {
+  return weights_to_allocation(act(state, explore));
+}
+
+std::vector<int> DdpgAgent::act_allocation_greedy(
+    const std::vector<double>& state) const {
+  return weights_to_allocation(act_greedy(state));
+}
+
+ExplorationSnapshot DdpgAgent::snapshot_exploration(Rng& rng) const {
+  ExplorationSnapshot snapshot;
+  snapshot.exploration_ = config_.exploration;
+  snapshot.epsilon_random_ = config_.epsilon_random;
+  snapshot.epsilon_demo_ = config_.epsilon_demo;
+  snapshot.action_noise_stddev_ = config_.action_noise_stddev;
+  snapshot.log_state_features_ = config_.log_state_features;
+  snapshot.consumer_budget_ = consumer_budget_;
+  snapshot.action_dim_ = action_dim_;
+  snapshot.policy_ = actor_;
+  if (config_.exploration == ExplorationMode::kParameterNoise)
+    snapshot.policy_.perturb_parameters(parameter_noise_.stddev(), rng);
+  // Resolve the normaliser into a plain affine map so the snapshot neither
+  // references the agent nor repeats the flooring logic per call.
+  snapshot.shift_.resize(state_dim_);
+  snapshot.scale_.resize(state_dim_);
+  const double floor =
+      config_.log_state_features ? kMinStddevLog : kMinStddevRaw;
+  for (std::size_t j = 0; j < state_dim_; ++j) {
+    if (state_stats_[j].count() < 2) {
+      snapshot.shift_[j] = 0.0;
+      snapshot.scale_[j] = 1.0;
+    } else {
+      snapshot.shift_[j] = state_stats_[j].mean();
+      snapshot.scale_[j] = std::max(state_stats_[j].stddev(), floor);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<double> ExplorationSnapshot::normalize(
+    const std::vector<double>& state) const {
+  MIRAS_EXPECTS(state.size() == shift_.size());
+  std::vector<double> normalized(state.size());
+  for (std::size_t j = 0; j < state.size(); ++j) {
+    const double feature = log_state_features_
+                               ? std::log1p(std::max(state[j], 0.0))
+                               : state[j];
+    normalized[j] = (feature - shift_[j]) / scale_[j];
+  }
+  return normalized;
+}
+
+std::vector<double> ExplorationSnapshot::act(const std::vector<double>& state,
+                                             Rng& rng) {
+  if (exploration_ == ExplorationMode::kNone)
+    return policy_.predict_one(normalize(state));
+
+  const double roll = rng.uniform();
+  if (roll < epsilon_random_) return uniform_simplex_point(action_dim_, rng);
+  if (roll < epsilon_random_ + epsilon_demo_)
+    return wip_proportional_weights(state, action_dim_, rng);
+
+  if (exploration_ == ExplorationMode::kParameterNoise)
+    return policy_.predict_one(normalize(state));
+
+  const std::vector<double> clean = policy_.predict_one(normalize(state));
+  const GaussianActionNoise noise(action_noise_stddev_);
+  std::vector<double> noisy = noise.apply(clean, rng);
+  if (raw_weights_violate_budget(noisy, consumer_budget_)) ++violations_;
+  return noisy;
 }
 
 void DdpgAgent::observe(const std::vector<double>& state,
@@ -307,27 +416,11 @@ double DdpgAgent::update(std::size_t count) {
 
 std::vector<double> DdpgAgent::proportional_demo_action(
     const std::vector<double>& state) {
-  std::vector<double> weights(action_dim_);
-  double total = 0.0;
-  for (std::size_t j = 0; j < action_dim_; ++j) {
-    // +1 keeps idle queues warm; mild noise varies the demonstrations.
-    weights[j] = (std::max(state[j], 0.0) + 1.0) * rng_.uniform(0.75, 1.25);
-    total += weights[j];
-  }
-  for (double& w : weights) w /= total;
-  return weights;
+  return wip_proportional_weights(state, action_dim_, rng_);
 }
 
 std::vector<double> DdpgAgent::random_simplex_action() {
-  // Exponential spacings: a uniform draw from the simplex.
-  std::vector<double> weights(action_dim_);
-  double total = 0.0;
-  for (double& w : weights) {
-    w = rng_.exponential(1.0);
-    total += w;
-  }
-  for (double& w : weights) w /= total;
-  return weights;
+  return uniform_simplex_point(action_dim_, rng_);
 }
 
 void DdpgAgent::adapt_parameter_noise() {

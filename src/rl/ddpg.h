@@ -114,6 +114,45 @@ struct DdpgConfig {
   std::uint64_t seed = 17;
 };
 
+class DdpgAgent;
+
+/// Frozen view of a DdpgAgent's exploring behaviour, built by
+/// DdpgAgent::snapshot_exploration() for one collection episode. It owns a
+/// copy of the (perturbed) policy network and the resolved normaliser, so
+/// worker threads can act concurrently while the agent itself is untouched;
+/// every stochastic draw comes from the caller-provided Rng, making the
+/// behaviour a pure function of (snapshot, rng, states).
+class ExplorationSnapshot {
+ public:
+  /// Exploring simplex action for `state` (the parallel-collection
+  /// counterpart of DdpgAgent::act(state, /*explore=*/true)).
+  std::vector<double> act(const std::vector<double>& state, Rng& rng);
+
+  /// Would-be budget violations observed so far (action-noise mode only);
+  /// merged back via DdpgAgent::record_constraint_violations().
+  std::size_t constraint_violations() const { return violations_; }
+
+ private:
+  friend class DdpgAgent;
+  ExplorationSnapshot() = default;
+
+  std::vector<double> normalize(const std::vector<double>& state) const;
+
+  ExplorationMode exploration_ = ExplorationMode::kNone;
+  double epsilon_random_ = 0.0;
+  double epsilon_demo_ = 0.0;
+  double action_noise_stddev_ = 0.0;
+  bool log_state_features_ = true;
+  int consumer_budget_ = 0;
+  std::size_t action_dim_ = 0;
+  nn::Network policy_;  // perturbed actor (parameter noise) or clean actor
+  // Resolved per-dimension affine normalisation y = (f - shift) / scale;
+  // dimensions without statistics pass through as shift 0, scale 1.
+  std::vector<double> shift_;
+  std::vector<double> scale_;
+  std::size_t violations_ = 0;
+};
+
 class DdpgAgent {
  public:
   DdpgAgent(std::size_t state_dim, std::size_t action_dim, int consumer_budget,
@@ -130,6 +169,26 @@ class DdpgAgent {
   /// act() mapped to an integer allocation under the budget.
   std::vector<int> act_allocation(const std::vector<double>& state,
                                   bool explore);
+
+  /// The greedy action, const and side-effect free: reads only the actor
+  /// and the normaliser statistics, never the rng. Safe to call from many
+  /// threads concurrently while nothing mutates the agent — this is what
+  /// the parallel evaluation grid drives.
+  std::vector<double> act_greedy(const std::vector<double>& state) const;
+
+  /// act_greedy() mapped to an integer allocation under the budget.
+  std::vector<int> act_allocation_greedy(const std::vector<double>& state) const;
+
+  /// Captures the current exploring behaviour for one concurrently-run
+  /// collection episode. The parameter-noise perturbation (if any) is drawn
+  /// from `rng`, not the agent's own stream.
+  ExplorationSnapshot snapshot_exploration(Rng& rng) const;
+
+  /// Folds the would-be violations counted by a snapshot episode back into
+  /// the agent's tally (call serially, in deterministic episode order).
+  void record_constraint_violations(std::size_t count) {
+    constraint_violations_ += count;
+  }
 
   /// Records a transition (also updates the state normaliser).
   void observe(const std::vector<double>& state,
@@ -176,6 +235,8 @@ class DdpgAgent {
   double state_feature(double raw) const;
   void mature_front_transition();
   std::vector<double> normalize_state(const std::vector<double>& state) const;
+  std::vector<int> weights_to_allocation(
+      const std::vector<double>& weights) const;
   std::vector<double> random_simplex_action();
   std::vector<double> proportional_demo_action(
       const std::vector<double>& state);

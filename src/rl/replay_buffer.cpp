@@ -20,6 +20,7 @@ void ReplayBuffer::add(Experience experience) {
 
 std::vector<const Experience*> ReplayBuffer::sample(std::size_t count,
                                                     Rng& rng) const {
+  MIRAS_EXPECTS(count > 0);
   MIRAS_EXPECTS(!storage_.empty());
   std::vector<const Experience*> batch;
   batch.reserve(count);

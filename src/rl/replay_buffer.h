@@ -34,8 +34,11 @@ class ReplayBuffer {
   /// Appends, overwriting the oldest entry once at capacity.
   void add(Experience experience);
 
-  /// Uniform sample with replacement of `count` experiences.
-  /// Requires !empty().
+  /// Uniform sample *with replacement* of `count` experiences: indices are
+  /// drawn independently, so the batch may repeat entries, and `count` may
+  /// exceed size() (useful while the buffer is still warming up).
+  /// Requires count > 0 and !empty() — an empty batch is never meaningful
+  /// to callers, which divide by the batch size.
   std::vector<const Experience*> sample(std::size_t count, Rng& rng) const;
 
   const Experience& operator[](std::size_t i) const;

@@ -18,6 +18,30 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(out.str(), "step,reward\n1,-3.5\n2,-1.0\n");
 }
 
+TEST(Table, CsvQuotesCellsWithSeparators) {
+  // RFC 4180: commas, quotes, and line breaks force quoting; embedded
+  // quotes are doubled. Plain cells stay verbatim.
+  Table table({"label", "value"});
+  table.add_row({"msd, burst 30", "1.0"});
+  table.add_row({"say \"hi\"", "2.0"});
+  table.add_row({"line\nbreak", "carriage\rreturn"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(),
+            "label,value\n"
+            "\"msd, burst 30\",1.0\n"
+            "\"say \"\"hi\"\"\",2.0\n"
+            "\"line\nbreak\",\"carriage\rreturn\"\n");
+}
+
+TEST(Table, CsvQuotesHeaderCells) {
+  Table table({"a,b", "c"});
+  table.add_row({"1", "2"});
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "\"a,b\",c\n1,2\n");
+}
+
 TEST(Table, NumericRowFormatting) {
   Table table({"a", "b"});
   table.add_numeric_row({1.23456, -2.0}, 2);

@@ -49,6 +49,15 @@ TEST(ReplayBuffer, SampleFromEmptyThrows) {
   EXPECT_THROW(buffer.sample(1, rng), ContractViolation);
 }
 
+TEST(ReplayBuffer, SampleOfZeroThrows) {
+  // An empty batch is never meaningful — downstream update code divides by
+  // the batch size — so count == 0 is a contract violation, not a no-op.
+  ReplayBuffer buffer(4);
+  buffer.add(make_experience(1));
+  Rng rng(1);
+  EXPECT_THROW(buffer.sample(0, rng), ContractViolation);
+}
+
 TEST(ReplayBuffer, SampleReturnsRequestedCount) {
   ReplayBuffer buffer(8);
   for (int i = 0; i < 5; ++i) buffer.add(make_experience(i));

@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <vector>
@@ -177,6 +178,35 @@ TEST(Rng, ContractViolations) {
   EXPECT_THROW(rng.exponential(0.0), ContractViolation);
   EXPECT_THROW(rng.normal(0.0, -1.0), ContractViolation);
   EXPECT_THROW(rng.poisson(-1.0), ContractViolation);
+}
+
+TEST(ShardSeed, IsAPureFunctionOfRootAndIndex) {
+  EXPECT_EQ(shard_seed(42, 7), shard_seed(42, 7));
+  EXPECT_NE(shard_seed(42, 7), shard_seed(42, 8));
+  EXPECT_NE(shard_seed(42, 7), shard_seed(43, 7));
+}
+
+TEST(ShardSeed, NeighbouringShardsAndRootsAreDistinct) {
+  // Sequential shard indices and sequential roots are the common case
+  // (episode e of iteration i); none of them may collide or give trivially
+  // correlated streams.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t root = 0; root < 8; ++root)
+    for (std::uint64_t shard = 0; shard < 64; ++shard)
+      seeds.push_back(shard_seed(root, shard));
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(ShardSeed, DerivedStreamsAreDecorrelated) {
+  // Streams seeded from neighbouring shards of the same root must not move
+  // in lockstep.
+  Rng a(shard_seed(5, 0));
+  Rng b(shard_seed(5, 1));
+  int identical = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.next_u64() == b.next_u64()) ++identical;
+  EXPECT_LT(identical, 2);
 }
 
 }  // namespace

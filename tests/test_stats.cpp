@@ -18,11 +18,14 @@ TEST(RunningStats, EmptyDefaults) {
 }
 
 TEST(RunningStats, SingleValue) {
+  // One sample has zero degrees of freedom for the variance; the Bessel-
+  // corrected estimator must report 0, not divide by (n - 1) = 0.
   RunningStats stats;
   stats.add(5.0);
   EXPECT_EQ(stats.count(), 1u);
   EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
   EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
   EXPECT_DOUBLE_EQ(stats.min(), 5.0);
   EXPECT_DOUBLE_EQ(stats.max(), 5.0);
 }
@@ -39,10 +42,21 @@ TEST(RunningStats, MatchesNaiveComputation) {
   double sq = 0.0;
   for (const double v : values) sq += (v - mean) * (v - mean);
   EXPECT_NEAR(stats.mean(), mean, 1e-12);
-  EXPECT_NEAR(stats.variance(), sq / static_cast<double>(values.size()),
+  // Sample variance: Bessel's correction divides by n - 1.
+  EXPECT_NEAR(stats.variance(), sq / static_cast<double>(values.size() - 1),
               1e-12);
   EXPECT_DOUBLE_EQ(stats.min(), -2.0);
   EXPECT_DOUBLE_EQ(stats.max(), 7.5);
+}
+
+TEST(RunningStats, TwoSampleVarianceIsBesselCorrected) {
+  // {0, 2}: mean 1, squared deviations sum to 2; sample variance is
+  // 2 / (2 - 1) = 2 (the population estimator would report 1).
+  RunningStats stats;
+  stats.add(0.0);
+  stats.add(2.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), std::sqrt(2.0));
 }
 
 TEST(RunningStats, NumericallyStableForLargeOffsets) {
@@ -50,7 +64,8 @@ TEST(RunningStats, NumericallyStableForLargeOffsets) {
   const double offset = 1e9;
   for (int i = 0; i < 1000; ++i) stats.add(offset + (i % 2 == 0 ? 1.0 : -1.0));
   EXPECT_NEAR(stats.mean(), offset, 1e-3);
-  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+  // Squared deviations sum to 1000; sample variance is 1000 / 999.
+  EXPECT_NEAR(stats.variance(), 1000.0 / 999.0, 1e-6);
 }
 
 TEST(RunningStats, MergeEqualsCombinedStream) {
