@@ -1,0 +1,169 @@
+// Shared plumbing for the google-benchmark micro benches: heap-allocation
+// accounting, a `--json <path>` flag, and a reporter that captures every run
+// as {op, ns_per_op, bytes_per_op, iterations} for machine consumption (the
+// CI perf artifacts BENCH_nn.json / BENCH_parallel.json).
+//
+// Include from exactly ONE translation unit per binary: this header defines
+// the replaceable global operator new/delete so that allocation counts need
+// no instrumentation in the measured code. Each micro bench is a single-file
+// executable, which satisfies that by construction.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace miras::bench {
+
+/// Total bytes ever requested through global operator new. Monotonic;
+/// benchmarks record a delta around their timed loop and divide by the
+/// iteration count. Relaxed atomics: the counter is read single-threadedly
+/// between runs, never used for synchronisation.
+inline std::atomic<std::uint64_t>& allocated_bytes() {
+  static std::atomic<std::uint64_t> bytes{0};
+  return bytes;
+}
+
+/// Attaches a "bytes_per_op" user counter covering the benchmark's timed
+/// loop. Usage:
+///   const std::uint64_t alloc0 = bench::allocation_mark();
+///   for (auto _ : state) { ... }
+///   bench::record_bytes_per_op(state, alloc0);
+inline std::uint64_t allocation_mark() {
+  return allocated_bytes().load(std::memory_order_relaxed);
+}
+
+inline void record_bytes_per_op(benchmark::State& state, std::uint64_t mark) {
+  const std::uint64_t delta =
+      allocated_bytes().load(std::memory_order_relaxed) - mark;
+  state.counters["bytes_per_op"] = benchmark::Counter(
+      state.iterations() > 0
+          ? static_cast<double>(delta) / static_cast<double>(state.iterations())
+          : 0.0);
+}
+
+struct BenchRecord {
+  std::string op;
+  double ns_per_op = 0.0;
+  double bytes_per_op = 0.0;
+  std::int64_t iterations = 0;
+};
+
+/// Console reporter that additionally captures per-iteration runs (skipping
+/// aggregate rows) for the JSON dump.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      BenchRecord record;
+      record.op = run.benchmark_name();
+      record.iterations = run.iterations;
+      if (run.iterations > 0) {
+        record.ns_per_op = run.real_accumulated_time /
+                           static_cast<double>(run.iterations) * 1e9;
+      }
+      const auto it = run.counters.find("bytes_per_op");
+      if (it != run.counters.end())
+        record.bytes_per_op = static_cast<double>(it->second);
+      records_.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<BenchRecord>& records() const { return records_; }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    out << "  {\"op\": \"" << json_escape(r.op)
+        << "\", \"ns_per_op\": " << r.ns_per_op
+        << ", \"bytes_per_op\": " << r.bytes_per_op
+        << ", \"iterations\": " << r.iterations << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.good();
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: strips `--json <path>`
+/// from argv (google-benchmark rejects unknown flags), runs the registered
+/// benchmarks through the capturing reporter, and dumps the JSON if asked.
+inline int run_benchmarks(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty() &&
+      !write_bench_json(json_path, reporter.records())) {
+    std::fprintf(stderr, "failed to write bench json to %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace miras::bench
+
+// Replaceable global allocation functions feeding the byte counter. Sized
+// and unsized deletes both forward to free; the count tracks requests, not
+// live bytes, which is what a "did this path allocate at all" check needs.
+// new/delete pair up malloc/free consistently here, so the compiler's
+// mismatch heuristic (which only sees the free) is a false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  miras::bench::allocated_bytes().fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif

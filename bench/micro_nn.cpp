@@ -1,12 +1,18 @@
 // Microbenchmarks of the neural-network substrate (google-benchmark):
-// matmul, forward/backward passes at the paper's network sizes, optimiser
-// steps, and one full DDPG update.
+// matmul, forward/backward passes at the paper's network sizes, the batched
+// vs per-sample inference paths, optimiser steps, and one full DDPG update.
+// Every benchmark reports a bytes_per_op counter (heap bytes requested per
+// timed iteration) — the workspace-based hot paths are expected to sit at
+// zero after warmup. Pass `--json <path>` to dump {op, ns_per_op,
+// bytes_per_op, iterations} records (the BENCH_nn.json CI artifact).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "common/rng.h"
 #include "nn/loss.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "nn/workspace.h"
 #include "rl/ddpg.h"
 
 namespace miras {
@@ -18,13 +24,32 @@ void BM_TensorMatmul(benchmark::State& state) {
   nn::Tensor a(n, n), b(n, n);
   for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform();
   for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform();
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.matmul(b));
   }
+  bench::record_bytes_per_op(state, alloc0);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
 BENCHMARK(BM_TensorMatmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TensorMatmulInto(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  nn::Tensor a(n, n), b(n, n), out(n, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = rng.uniform();
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = rng.uniform();
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    a.matmul_into(b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_TensorMatmulInto)->Arg(64)->Arg(128)->Arg(256);
 
 nn::Network make_mlp(std::size_t width, std::size_t in, std::size_t out,
                      Rng& rng) {
@@ -35,14 +60,57 @@ nn::Network make_mlp(std::size_t width, std::size_t in, std::size_t out,
   return nn::Network(spec, rng);
 }
 
+// Allocating predict(): fresh tensors every call (the thread-safe
+// evaluation-grid path). Baseline for the workspace variants below.
 void BM_ActorForward(benchmark::State& state) {
   const auto width = static_cast<std::size_t>(state.range(0));
   Rng rng(2);
   nn::Network net = make_mlp(width, 4, 4, rng);
   nn::Tensor batch(64, 4, 0.5);
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) benchmark::DoNotOptimize(net.predict(batch));
+  bench::record_bytes_per_op(state, alloc0);
 }
 BENCHMARK(BM_ActorForward)->Arg(64)->Arg(256);  // 256 = paper's MSD actor
+
+// Workspace predict_batch(): same numbers, zero allocations after warmup.
+void BM_ActorForwardBatched(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Network net = make_mlp(width, 4, 4, rng);
+  nn::Tensor batch(64, 4, 0.5);
+  nn::Workspace ws;
+  nn::Tensor out;
+  net.predict_batch(batch, ws, out);  // warmup sizes the workspace
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    net.predict_batch(batch, ws, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+}
+BENCHMARK(BM_ActorForwardBatched)->Arg(64)->Arg(256);
+
+// The same 64 samples pushed through one at a time (64 GEMVs per layer
+// instead of one GEMM) — what the lockstep rollout batching removes.
+void BM_ActorForwardPerSample(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  nn::Network net = make_mlp(width, 4, 4, rng);
+  const std::vector<double> x(4, 0.5);
+  std::vector<double> y;
+  nn::Workspace ws;
+  net.predict_one(x, ws, y);  // warmup sizes the workspace
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      net.predict_one(x, ws, y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  bench::record_bytes_per_op(state, alloc0);
+}
+BENCHMARK(BM_ActorForwardPerSample)->Arg(64)->Arg(256);
 
 void BM_ActorForwardBackward(benchmark::State& state) {
   const auto width = static_cast<std::size_t>(state.range(0));
@@ -50,12 +118,19 @@ void BM_ActorForwardBackward(benchmark::State& state) {
   nn::Network net = make_mlp(width, 4, 4, rng);
   nn::Tensor batch(64, 4, 0.5);
   nn::Tensor target(64, 4, 0.25);
+  nn::Tensor loss_grad;
+  // Warmup sizes the cached activations, grad ping-pong, and loss grad.
+  net.zero_grad();
+  nn::mse_loss_into(net.forward(batch), target, loss_grad);
+  net.backward(loss_grad);
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) {
     net.zero_grad();
-    const nn::Tensor out = net.forward(batch);
-    const nn::LossResult loss = nn::mse_loss(out, target);
-    benchmark::DoNotOptimize(net.backward(loss.grad));
+    const nn::Tensor& out = net.forward(batch);
+    benchmark::DoNotOptimize(nn::mse_loss_into(out, target, loss_grad));
+    benchmark::DoNotOptimize(net.backward(loss_grad));
   }
+  bench::record_bytes_per_op(state, alloc0);
 }
 BENCHMARK(BM_ActorForwardBackward)->Arg(64)->Arg(256);
 
@@ -64,10 +139,15 @@ void BM_AdamStep(benchmark::State& state) {
   nn::Network net = make_mlp(256, 4, 4, rng);
   nn::Tensor batch(64, 4, 0.5);
   nn::Tensor target(64, 4, 0.25);
+  nn::Tensor loss_grad;
   net.zero_grad();
-  net.backward(nn::mse_loss(net.forward(batch), target).grad);
+  nn::mse_loss_into(net.forward(batch), target, loss_grad);
+  net.backward(loss_grad);
   nn::AdamOptimizer adam(1e-3);
+  adam.step(net.layers());  // warmup allocates the moment buffers
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) adam.step(net.layers());
+  bench::record_bytes_per_op(state, alloc0);
 }
 BENCHMARK(BM_AdamStep);
 
@@ -85,11 +165,16 @@ void BM_DdpgUpdate(benchmark::State& state) {
                           rng.uniform(0, 50), rng.uniform(0, 50)};
     agent.observe(s, {0.25, 0.25, 0.25, 0.25}, rng.uniform(-5, 0), s);
   }
+  agent.update(1);  // warmup sizes the agent's scratch tensors
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) benchmark::DoNotOptimize(agent.update(1));
+  bench::record_bytes_per_op(state, alloc0);
 }
 BENCHMARK(BM_DdpgUpdate)->Arg(64)->Arg(256);
 
 }  // namespace
 }  // namespace miras
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return miras::bench::run_benchmarks(argc, argv);
+}

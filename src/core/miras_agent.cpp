@@ -251,35 +251,63 @@ void MirasAgent::train_policy_on_model() {
   }
 }
 
-std::vector<MirasAgent::SyntheticStep> MirasAgent::run_synthetic_rollout(
-    std::uint64_t seed) {
-  Rng roll_rng(seed);
-  const std::uint64_t env_seed = roll_rng.next_u64();
-  const Behavior behavior = pick_behavior(roll_rng);
-  std::optional<rl::ExplorationSnapshot> snapshot;
-  if (behavior == Behavior::kPolicy)
-    snapshot = agent_.snapshot_exploration(roll_rng);
-  // The refiner's lend draws are stochastic; each rollout gets its own
-  // reseeded copy so concurrent rollouts never share its stream.
+void MirasAgent::run_synthetic_rollout_batch(
+    std::uint64_t batch_root, std::size_t first, std::size_t count,
+    std::vector<std::vector<SyntheticStep>>& rollouts) {
+  // Per-lane context: every stochastic draw of lane l — behaviour,
+  // exploration, weights — comes from its own roll_rng, seeded exactly like
+  // the standalone rollout with shard_seed(batch_root, first + l), and the
+  // setup draw order (env seed, behaviour, snapshot, refiner seed) matches
+  // the sequential path draw for draw.
+  struct LaneContext {
+    Rng roll_rng{0};
+    Behavior behavior = Behavior::kPolicy;
+    std::optional<rl::ExplorationSnapshot> snapshot;
+  };
+  std::vector<LaneContext> lanes(count);
+  // The refiner's predict_batch scratch is per-chunk state, so each chunk
+  // works on its own copy of the fitted refiner; lend draws come from the
+  // per-lane streams, never from this copy's rng.
   envmodel::ModelRefiner refiner = refiner_;
-  if (config_.use_refiner) refiner.reseed(roll_rng.next_u64());
-  envmodel::SyntheticEnv synthetic(&model_,
-                                   config_.use_refiner ? &refiner : nullptr,
-                                   &dataset_, env_->consumer_budget(),
-                                   env_seed);
-  std::vector<SyntheticStep> steps;
-  steps.reserve(config_.rollout_length);
-  std::vector<double> state = synthetic.reset();
-  for (std::size_t t = 0; t < config_.rollout_length; ++t) {
-    const std::vector<double> weights = behavior_weights(
-        behavior, state, roll_rng, snapshot ? &*snapshot : nullptr);
-    const std::vector<int> allocation =
-        to_allocation(weights, env_->consumer_budget(), config_.ddpg);
-    const sim::StepResult result = synthetic.step(allocation);
-    steps.push_back(SyntheticStep{state, weights, result.reward, result.state});
-    state = result.state;
+  envmodel::SyntheticEnvBatch synthetic(
+      &model_, config_.use_refiner ? &refiner : nullptr, &dataset_,
+      env_->consumer_budget());
+  for (std::size_t l = 0; l < count; ++l) {
+    LaneContext& lane = lanes[l];
+    lane.roll_rng = Rng(shard_seed(batch_root, first + l));
+    const std::uint64_t env_seed = lane.roll_rng.next_u64();
+    lane.behavior = pick_behavior(lane.roll_rng);
+    if (lane.behavior == Behavior::kPolicy)
+      lane.snapshot = agent_.snapshot_exploration(lane.roll_rng);
+    std::uint64_t refiner_seed = 0;
+    if (config_.use_refiner) refiner_seed = lane.roll_rng.next_u64();
+    synthetic.add_lane(env_seed, refiner_seed);
   }
-  return steps;
+  synthetic.reset_all();
+
+  for (std::size_t l = 0; l < count; ++l)
+    rollouts[first + l].reserve(config_.rollout_length);
+  std::vector<std::vector<int>> allocations(count);
+  for (std::size_t t = 0; t < config_.rollout_length; ++t) {
+    for (std::size_t l = 0; l < count; ++l) {
+      LaneContext& lane = lanes[l];
+      const std::vector<double>& state = synthetic.state(l);
+      std::vector<double> weights = behavior_weights(
+          lane.behavior, state, lane.roll_rng,
+          lane.snapshot ? &*lane.snapshot : nullptr);
+      allocations[l] =
+          to_allocation(weights, env_->consumer_budget(), config_.ddpg);
+      rollouts[first + l].push_back(
+          SyntheticStep{state, std::move(weights), 0.0, {}});
+    }
+    // The whole group takes its timestep as one batched model query.
+    synthetic.step_all(allocations);
+    for (std::size_t l = 0; l < count; ++l) {
+      SyntheticStep& step = rollouts[first + l].back();
+      step.reward = synthetic.last_reward(l);
+      step.next_state = synthetic.state(l);
+    }
+  }
 }
 
 void MirasAgent::train_policy_on_model_sharded() {
@@ -287,15 +315,24 @@ void MirasAgent::train_policy_on_model_sharded() {
   // snapshots the actor as of the batch start) and *replayed* serially
   // through observe/update, so the gradient-update sequence is identical
   // for any worker count. The batch size is config.rollout_batch — an
-  // algorithmic knob, never the thread count.
+  // algorithmic knob, never the thread count. Generation itself advances
+  // lockstep groups of config.lockstep_width lanes (the unit handed to
+  // worker threads); the group boundaries and every lane's rng streams are
+  // functions of the config alone, so neither the width nor the thread
+  // count can change the result.
   const std::size_t total = config_.synthetic_rollouts_per_iteration;
   const std::size_t batch = std::max<std::size_t>(config_.rollout_batch, 1);
   for (std::size_t start = 0; start < total; start += batch) {
     const std::size_t count = std::min(batch, total - start);
     const std::uint64_t batch_root = rng_.next_u64();
     std::vector<std::vector<SyntheticStep>> rollouts(count);
-    for_each_shard(count, [&](std::size_t r) {
-      rollouts[r] = run_synthetic_rollout(shard_seed(batch_root, r));
+    const std::size_t width =
+        config_.lockstep_width == 0 ? count : config_.lockstep_width;
+    const std::size_t groups = (count + width - 1) / width;
+    for_each_shard(groups, [&](std::size_t g) {
+      const std::size_t first = g * width;
+      run_synthetic_rollout_batch(batch_root, first,
+                                  std::min(width, count - first), rollouts);
     });
     for (const std::vector<SyntheticStep>& rollout : rollouts) {
       // An episode boundary: flush pending n-step windows and refresh the

@@ -118,7 +118,15 @@ class MirasAgent {
                                           bool random_actions);
   void train_policy_on_model();
   void train_policy_on_model_sharded();
-  std::vector<SyntheticStep> run_synthetic_rollout(std::uint64_t seed);
+  /// Generates lanes [first, first+count) of one rollout batch in lockstep:
+  /// lane l is seeded from shard_seed(batch_root, first + l) and consumes
+  /// exactly the draw sequence a standalone rollout with that seed would,
+  /// while the dynamics-model/refiner queries of all lanes run batched
+  /// (SyntheticEnvBatch). Results land in rollouts[first + l]; trajectories
+  /// are bit-identical for any lockstep width or thread count.
+  void run_synthetic_rollout_batch(
+      std::uint64_t batch_root, std::size_t first, std::size_t count,
+      std::vector<std::vector<SyntheticStep>>& rollouts);
   /// Runs body(0..count-1) on the pool (or inline without one); results
   /// must land in index slots.
   void for_each_shard(std::size_t count,

@@ -78,6 +78,18 @@ struct MirasConfig {
   /// worker count — results are identical for any number of threads.
   std::size_t rollout_batch = 8;
 
+  /// Within one generation batch, rollouts advance in *lockstep* groups of
+  /// this many lanes: every lane takes its timestep together and the
+  /// dynamics-model (and refiner) queries of the whole group run as one
+  /// batched forward pass — one (B x D) GEMM per layer instead of B GEMVs.
+  /// Like rollout_batch this is an algorithmic constant, never derived from
+  /// the worker count, and every lane keeps its own shard-seeded rng
+  /// streams — so results are bit-identical for any width and any number of
+  /// threads (the batched kernels are row-wise bit-identical to the
+  /// per-sample path; see tensor.h). Groups are the unit handed to worker
+  /// threads. 0 means "the whole batch in one group".
+  std::size_t lockstep_width = 8;
+
   /// With this probability, a collection episode starts with a random
   /// request burst (each workflow type gets uniform(0, collection_burst_max)
   /// requests). The evaluation scenarios (§VI-D) hit the system with bursts

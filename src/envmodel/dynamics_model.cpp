@@ -102,6 +102,11 @@ double DynamicsModel::fit(const TransitionDataset& data) {
     }
   }
 
+  // Minibatch buffers are hoisted out of the loops and reused; the epoch
+  // loop performs no steady-state allocations beyond the index shuffle.
+  nn::Tensor batch_x;
+  nn::Tensor batch_y;
+  nn::Tensor loss_grad;
   double final_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     const auto order = data.shuffled_indices(rng_);
@@ -109,8 +114,8 @@ double DynamicsModel::fit(const TransitionDataset& data) {
     std::size_t num_batches = 0;
     for (std::size_t start = 0; start < n; start += config_.batch_size) {
       const std::size_t batch = std::min(config_.batch_size, n - start);
-      nn::Tensor batch_x(batch, in_dim);
-      nn::Tensor batch_y(batch, state_dim_);
+      batch_x.resize(batch, in_dim);
+      batch_y.resize(batch, state_dim_);
       for (std::size_t b = 0; b < batch; ++b) {
         const std::size_t idx = order[start + b];
         for (std::size_t c = 0; c < in_dim; ++c)
@@ -119,12 +124,12 @@ double DynamicsModel::fit(const TransitionDataset& data) {
           batch_y(b, c) = targets(idx, c);
       }
       network_.zero_grad();
-      const nn::Tensor prediction = network_.forward(batch_x);
-      const nn::LossResult loss = nn::mse_loss(prediction, batch_y);
-      network_.backward(loss.grad);
+      const nn::Tensor& prediction = network_.forward(batch_x);
+      const double loss = nn::mse_loss_into(prediction, batch_y, loss_grad);
+      network_.backward(loss_grad);
       nn::clip_gradients(network_.layers(), config_.grad_clip);
       optimizer_.step(network_.layers());
-      epoch_loss += loss.value;
+      epoch_loss += loss;
       ++num_batches;
     }
     final_epoch_loss = epoch_loss / static_cast<double>(num_batches);
@@ -159,6 +164,45 @@ std::vector<double> DynamicsModel::predict(
     next_state[j] = config_.predict_delta ? state[j] + raw : raw;
   }
   return next_state;
+}
+
+void DynamicsModel::predict_batch(const nn::Tensor& states,
+                                  const std::vector<std::vector<int>>& actions,
+                                  nn::Workspace& ws,
+                                  nn::Tensor& next_states) const {
+  MIRAS_EXPECTS(fitted_);
+  MIRAS_EXPECTS(states.cols() == state_dim_);
+  const std::size_t b = states.rows();
+  MIRAS_EXPECTS(actions.size() == b);
+  MIRAS_EXPECTS(&next_states != &states && &next_states != &ws.in &&
+                &next_states != &ws.a && &next_states != &ws.b &&
+                &next_states != &ws.concat);
+  const std::size_t in_dim = state_dim_ + action_dim_;
+  // Assemble the normalised design matrix — row r mirrors
+  // make_input(states row r, actions[r]) element for element.
+  ws.in.resize(b, in_dim);
+  for (std::size_t r = 0; r < b; ++r) {
+    MIRAS_EXPECTS(actions[r].size() == action_dim_);
+    for (std::size_t j = 0; j < state_dim_; ++j)
+      ws.in(r, j) =
+          (states(r, j) - input_norm_.mean[j]) / input_norm_.stddev[j];
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      const std::size_t c = state_dim_ + j;
+      ws.in(r, c) = (static_cast<double>(actions[r][j]) -
+                     input_norm_.mean[c]) /
+                    input_norm_.stddev[c];
+    }
+  }
+  network_.predict_batch(ws.in, ws, ws.concat);
+  next_states.resize(b, state_dim_);
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      const double raw =
+          ws.concat(r, j) * output_norm_.stddev[j] + output_norm_.mean[j];
+      next_states(r, j) =
+          config_.predict_delta ? states(r, j) + raw : raw;
+    }
+  }
 }
 
 double DynamicsModel::reward_of(const std::vector<double>& next_state) {

@@ -20,6 +20,7 @@
 #include "envmodel/dataset.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "nn/workspace.h"
 
 namespace miras::envmodel {
 
@@ -57,6 +58,17 @@ class DynamicsModel {
   /// need physical states clamp (SyntheticEnv) or refine (ModelRefiner).
   std::vector<double> predict(const std::vector<double>& state,
                               const std::vector<int>& action) const;
+
+  /// Batched predict(): states is (B x state_dim), actions holds B action
+  /// vectors, and row r of `next_states` receives the prediction for
+  /// (states row r, actions[r]). One GEMM per layer instead of B GEMVs;
+  /// each row is bit-identical to the corresponding predict() call (kernel
+  /// invariant, tensor.h). Routes through ws.in (normalised design matrix),
+  /// ws.a/ws.b (layer ping-pong), and ws.concat (normalised output);
+  /// `next_states` must not alias any of those or `states`.
+  void predict_batch(const nn::Tensor& states,
+                     const std::vector<std::vector<int>>& actions,
+                     nn::Workspace& ws, nn::Tensor& next_states) const;
 
   /// Reward implied by a predicted next state (paper Eq. 1; "reward is
   /// predicted in a similar way" — reward is a deterministic function of

@@ -54,4 +54,56 @@ std::vector<double> ModelRefiner::predict(const std::vector<double>& state,
   return result;
 }
 
+void ModelRefiner::predict_batch(const nn::Tensor& states,
+                                 const std::vector<std::vector<int>>& actions,
+                                 const std::vector<Rng*>& rngs,
+                                 nn::Workspace& ws,
+                                 nn::Tensor& next_states) {
+  MIRAS_EXPECTS(fitted_);
+  MIRAS_EXPECTS(states.cols() == model_->state_dim());
+  const std::size_t b = states.rows();
+  MIRAS_EXPECTS(actions.size() == b && rngs.size() == b);
+  MIRAS_EXPECTS(&next_states != &ws.c && &next_states != &ws.d);
+
+  // Base predictions for every lane in one model call.
+  model_->predict_batch(states, actions, ws, next_states);
+
+  // Gather the lend queries: lanes in row order, dimensions ascending
+  // within a lane, each rho drawn from the lane's own stream — the exact
+  // order sequential predict() calls would consume.
+  lend_lane_.clear();
+  lend_dim_.clear();
+  lend_rho_.clear();
+  lend_actions_.clear();
+  for (std::size_t r = 0; r < b; ++r) {
+    for (std::size_t j = 0; j < model_->state_dim(); ++j) {
+      if (states(r, j) >= tau_[j]) continue;
+      lend_lane_.push_back(r);
+      lend_dim_.push_back(j);
+      lend_rho_.push_back(rngs[r]->uniform(tau_[j], omega_[j]));
+      lend_actions_.push_back(actions[r]);
+    }
+  }
+
+  if (!lend_lane_.empty()) {
+    // Adjusted states: each query starts from the lane's original state and
+    // pushes only its own dimension away from the boundary.
+    ws.c.resize(lend_lane_.size(), model_->state_dim());
+    for (std::size_t q = 0; q < lend_lane_.size(); ++q) {
+      for (std::size_t j = 0; j < model_->state_dim(); ++j)
+        ws.c(q, j) = states(lend_lane_[q], j);
+      ws.c(q, lend_dim_[q]) += lend_rho_[q];
+    }
+    model_->predict_batch(ws.c, lend_actions_, ws, ws.d);
+    // Giveback, scattered to (lane, dim).
+    for (std::size_t q = 0; q < lend_lane_.size(); ++q)
+      next_states(lend_lane_[q], lend_dim_[q]) =
+          std::max(ws.d(q, lend_dim_[q]) - lend_rho_[q], 0.0);
+  }
+
+  for (std::size_t r = 0; r < b; ++r)
+    for (std::size_t j = 0; j < model_->state_dim(); ++j)
+      next_states(r, j) = std::max(next_states(r, j), 0.0);
+}
+
 }  // namespace miras::envmodel

@@ -45,6 +45,21 @@ class ModelRefiner {
   std::vector<double> predict(const std::vector<double>& state,
                               const std::vector<int>& action);
 
+  /// Batched predict() over B rollout lanes advancing in lockstep. Row r of
+  /// `states`/`actions` is lane r; lane r's lend amounts are drawn from
+  /// *rngs[r] (the refiner's own rng is untouched), in ascending dimension
+  /// order — exactly the draw sequence predict() consumes — so each output
+  /// row is bit-identical to a sequential predict() call that used the same
+  /// per-lane rng. The base predictions and all lanes' lend queries are
+  /// gathered into (at most) two batched model calls. Uses ws.c/ws.d plus
+  /// the model's workspace fields; `next_states` must not alias the inputs
+  /// or workspace tensors. Member scratch makes this non-reentrant (use one
+  /// refiner per lockstep batch).
+  void predict_batch(const nn::Tensor& states,
+                     const std::vector<std::vector<int>>& actions,
+                     const std::vector<Rng*>& rngs, nn::Workspace& ws,
+                     nn::Tensor& next_states);
+
   /// Restarts the internal rng from `seed`. Parallel rollouts copy the
   /// fitted refiner and reseed each copy from its shard seed, which keeps
   /// the lend draws deterministic per shard instead of per call order.
@@ -57,6 +72,13 @@ class ModelRefiner {
   std::vector<double> tau_;
   std::vector<double> omega_;
   bool fitted_ = false;
+
+  // predict_batch lend-query scratch (gather/scatter bookkeeping), reused
+  // across calls.
+  std::vector<std::size_t> lend_lane_;
+  std::vector<std::size_t> lend_dim_;
+  std::vector<double> lend_rho_;
+  std::vector<std::vector<int>> lend_actions_;
 };
 
 }  // namespace miras::envmodel

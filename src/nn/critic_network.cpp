@@ -33,23 +33,26 @@ CriticNetwork::CriticNetwork(std::vector<DenseLayer> layers)
   MIRAS_EXPECTS(layers_.back().out_dim() == 1);
 }
 
-Tensor CriticNetwork::concat_cols(const Tensor& a, const Tensor& b) {
+void CriticNetwork::concat_cols_into(const Tensor& a, const Tensor& b,
+                                     Tensor& out) {
   MIRAS_EXPECTS(a.rows() == b.rows());
-  Tensor out(a.rows(), a.cols() + b.cols());
+  MIRAS_EXPECTS(&out != &a && &out != &b);
+  out.resize(a.rows(), a.cols() + b.cols());
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
     for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
   }
-  return out;
 }
 
-Tensor CriticNetwork::forward(const Tensor& states, const Tensor& actions) {
+const Tensor& CriticNetwork::forward(const Tensor& states,
+                                     const Tensor& actions) {
   MIRAS_EXPECTS(states.cols() == state_dim_);
   MIRAS_EXPECTS(actions.cols() == action_dim_);
-  Tensor h = layers_[0].forward(states);
-  h = layers_[1].forward(concat_cols(h, actions));
-  for (std::size_t l = 2; l < layers_.size(); ++l) h = layers_[l].forward(h);
-  return h;
+  const Tensor& h1 = layers_[0].forward(states);
+  concat_cols_into(h1, actions, concat_);
+  const Tensor* h = &layers_[1].forward(concat_);
+  for (std::size_t l = 2; l < layers_.size(); ++l) h = &layers_[l].forward(*h);
+  return *h;
 }
 
 Tensor CriticNetwork::predict(const Tensor& states,
@@ -57,10 +60,30 @@ Tensor CriticNetwork::predict(const Tensor& states,
   MIRAS_EXPECTS(states.cols() == state_dim_);
   MIRAS_EXPECTS(actions.cols() == action_dim_);
   Tensor h = layers_[0].forward_const(states);
-  h = layers_[1].forward_const(concat_cols(h, actions));
+  Tensor cat;
+  concat_cols_into(h, actions, cat);
+  h = layers_[1].forward_const(cat);
   for (std::size_t l = 2; l < layers_.size(); ++l)
     h = layers_[l].forward_const(h);
   return h;
+}
+
+void CriticNetwork::predict_batch(const Tensor& states, const Tensor& actions,
+                                  Workspace& ws, Tensor& out) const {
+  MIRAS_EXPECTS(states.cols() == state_dim_);
+  MIRAS_EXPECTS(actions.cols() == action_dim_);
+  MIRAS_EXPECTS(&out != &states && &out != &actions);
+  MIRAS_EXPECTS(&out != &ws.a && &out != &ws.b && &out != &ws.concat);
+  layers_[0].forward_into(states, ws.a);
+  concat_cols_into(ws.a, actions, ws.concat);
+  // ws.a is free again once the concat block is assembled.
+  const Tensor* h = &ws.concat;
+  for (std::size_t l = 1; l + 1 < layers_.size(); ++l) {
+    Tensor& dst = (l % 2 == 1) ? ws.a : ws.b;
+    layers_[l].forward_into(*h, dst);
+    h = &dst;
+  }
+  layers_.back().forward_into(*h, out);
 }
 
 double CriticNetwork::predict_one(const std::vector<double>& state,
@@ -69,23 +92,35 @@ double CriticNetwork::predict_one(const std::vector<double>& state,
 }
 
 std::pair<Tensor, Tensor> CriticNetwork::backward(const Tensor& grad_q) {
-  MIRAS_EXPECTS(grad_q.cols() == 1);
-  Tensor grad = grad_q;
-  for (std::size_t l = layers_.size() - 1; l >= 2; --l)
-    grad = layers_[l].backward(grad);
-  // grad is now dL/d([h1 || a]); split the columns.
-  const Tensor grad_concat = layers_[1].backward(grad);
-  const std::size_t h1_width = layers_[0].out_dim();
-  Tensor grad_h1(grad_concat.rows(), h1_width);
-  Tensor grad_actions(grad_concat.rows(), action_dim_);
-  for (std::size_t r = 0; r < grad_concat.rows(); ++r) {
-    for (std::size_t c = 0; c < h1_width; ++c)
-      grad_h1(r, c) = grad_concat(r, c);
-    for (std::size_t c = 0; c < action_dim_; ++c)
-      grad_actions(r, c) = grad_concat(r, h1_width + c);
-  }
-  Tensor grad_states = layers_[0].backward(grad_h1);
+  Tensor grad_states, grad_actions;
+  backward_into(grad_q, grad_states, grad_actions);
   return {std::move(grad_states), std::move(grad_actions)};
+}
+
+void CriticNetwork::backward_into(const Tensor& grad_q, Tensor& grad_states,
+                                  Tensor& grad_actions) {
+  MIRAS_EXPECTS(grad_q.cols() == 1);
+  const Tensor* grad = &grad_q;
+  bool into_a = true;
+  for (std::size_t l = layers_.size() - 1; l >= 2; --l) {
+    Tensor& dst = into_a ? bwd_a_ : bwd_b_;
+    layers_[l].backward_into(*grad, dst);
+    grad = &dst;
+    into_a = !into_a;
+  }
+  // grad is now dL/d(h2); backprop through the joint layer and split the
+  // [h1 || a] columns.
+  layers_[1].backward_into(*grad, grad_concat_);
+  const std::size_t h1_width = layers_[0].out_dim();
+  grad_h1_.resize(grad_concat_.rows(), h1_width);
+  grad_actions.resize(grad_concat_.rows(), action_dim_);
+  for (std::size_t r = 0; r < grad_concat_.rows(); ++r) {
+    for (std::size_t c = 0; c < h1_width; ++c)
+      grad_h1_(r, c) = grad_concat_(r, c);
+    for (std::size_t c = 0; c < action_dim_; ++c)
+      grad_actions(r, c) = grad_concat_(r, h1_width + c);
+  }
+  layers_[0].backward_into(grad_h1_, grad_states);
 }
 
 void CriticNetwork::zero_grad() {

@@ -5,6 +5,10 @@
 // alone, then [h1 || a] feeds layer 2, and the final layer emits a scalar
 // Q-value. backward() returns both dQ/ds and dQ/da — the latter is the
 // deterministic-policy-gradient signal fed back through the actor.
+//
+// Like Network, the training path reuses member staging buffers and the
+// inference hot path routes through a caller-owned Workspace; the const
+// `predict` / `predict_one` remain allocating and concurrency-safe.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +17,7 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace miras::nn {
 
@@ -38,17 +43,30 @@ class CriticNetwork {
   std::size_t action_dim() const { return action_dim_; }
 
   /// Batched Q-values: states (B x S), actions (B x A) -> (B x 1).
-  /// Training mode (caches intermediates).
-  Tensor forward(const Tensor& states, const Tensor& actions);
+  /// Training mode (caches intermediates); the returned reference stays
+  /// valid until the next forward().
+  const Tensor& forward(const Tensor& states, const Tensor& actions);
 
-  /// Inference-only.
+  /// Inference-only. Allocates; safe to call concurrently.
   Tensor predict(const Tensor& states, const Tensor& actions) const;
   double predict_one(const std::vector<double>& state,
                      const std::vector<double>& action) const;
 
+  /// Inference through workspace buffers (ws.a, ws.b, ws.concat): zero
+  /// steady-state allocations, bit-identical to predict(). `out` must not
+  /// alias the inputs or the workspace tensors.
+  void predict_batch(const Tensor& states, const Tensor& actions,
+                     Workspace& ws, Tensor& out) const;
+
   /// Backpropagates dL/dQ (B x 1); accumulates parameter gradients and
   /// returns {dL/d(states), dL/d(actions)}.
   std::pair<Tensor, Tensor> backward(const Tensor& grad_q);
+
+  /// backward() writing into caller-owned buffers (resized); zero
+  /// steady-state allocations. The outputs must not alias each other,
+  /// `grad_q`, or any critic state.
+  void backward_into(const Tensor& grad_q, Tensor& grad_states,
+                     Tensor& grad_actions);
 
   void zero_grad();
   std::size_t parameter_count() const;
@@ -60,13 +78,21 @@ class CriticNetwork {
   const std::vector<DenseLayer>& layers() const { return layers_; }
 
  private:
-  static Tensor concat_cols(const Tensor& a, const Tensor& b);
+  /// out = [a || b] column-wise; out must not alias a or b.
+  static void concat_cols_into(const Tensor& a, const Tensor& b, Tensor& out);
 
   std::size_t state_dim_ = 0;
   std::size_t action_dim_ = 0;
   // layers_[0]: state -> h1; layers_[1]: [h1 || a] -> h2; then sequential;
   // final layer emits the scalar Q.
   std::vector<DenseLayer> layers_;
+
+  // Training-path staging (reused across calls).
+  Tensor concat_;       // [h1 || a]
+  Tensor bwd_a_;        // backward ping-pong
+  Tensor bwd_b_;
+  Tensor grad_concat_;  // dL/d([h1 || a])
+  Tensor grad_h1_;      // the h1 slice of grad_concat_
 };
 
 }  // namespace miras::nn

@@ -38,30 +38,49 @@ DenseLayer::DenseLayer(Tensor weights, Tensor bias, Activation activation)
   MIRAS_EXPECTS(bias_.rows() == 1 && bias_.cols() == out_dim_);
 }
 
-Tensor DenseLayer::forward(const Tensor& x) {
+const Tensor& DenseLayer::forward(const Tensor& x) {
   MIRAS_EXPECTS(x.cols() == in_dim_);
-  last_input_ = x;
-  last_pre_ = x.matmul(weights_);
+  last_input_.copy_from(x);
+  x.matmul_into(weights_, last_pre_);
   last_pre_.add_row_broadcast(bias_);
-  last_post_ = activate(activation_, last_pre_);
+  activate_into(activation_, last_pre_, last_post_);
   return last_post_;
 }
 
 Tensor DenseLayer::forward_const(const Tensor& x) const {
+  Tensor out;
+  forward_into(x, out);
+  return out;
+}
+
+void DenseLayer::forward_into(const Tensor& x, Tensor& out) const {
   MIRAS_EXPECTS(x.cols() == in_dim_);
-  Tensor pre = x.matmul(weights_);
-  pre.add_row_broadcast(bias_);
-  return activate(activation_, pre);
+  x.matmul_into(weights_, out);
+  out.add_row_broadcast(bias_);
+  activate_inplace(activation_, out);
 }
 
 Tensor DenseLayer::backward(const Tensor& grad_output) {
+  Tensor grad_input;
+  backward_into(grad_output, grad_input);
+  return grad_input;
+}
+
+void DenseLayer::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   MIRAS_EXPECTS(grad_output.rows() == last_input_.rows());
   MIRAS_EXPECTS(grad_output.cols() == out_dim_);
-  const Tensor grad_pre =
-      activation_backward(activation_, last_pre_, last_post_, grad_output);
-  weight_grad_ += last_input_.transposed_matmul(grad_pre);
-  bias_grad_ += grad_pre.column_sums();
-  return grad_pre.matmul_transposed(weights_);
+  // Identity gradients pass through unchanged; skip the copy and read
+  // grad_output directly.
+  const Tensor* grad_pre = &grad_output;
+  if (activation_ != Activation::kIdentity) {
+    activation_backward_into(activation_, last_pre_, last_post_, grad_output,
+                             grad_pre_);
+    grad_pre = &grad_pre_;
+  }
+  last_input_.transposed_matmul_into(*grad_pre, weight_grad_,
+                                     /*accumulate=*/true);
+  grad_pre->column_sums_into(bias_grad_, /*accumulate=*/true);
+  grad_pre->matmul_transposed_into(weights_, grad_input);
 }
 
 void DenseLayer::zero_grad() {

@@ -3,6 +3,10 @@
 // Parameters are owned by the layer; gradients are stored alongside and are
 // consumed by an Optimizer. Layers cache the last forward pass's input and
 // activations so backward() can be called immediately after forward().
+//
+// The cache tensors and the backward scratch buffer are reused across
+// calls, so a steady-state forward/backward cycle at a fixed batch size
+// performs no heap allocations.
 #pragma once
 
 #include <cstddef>
@@ -29,17 +33,28 @@ class DenseLayer {
   Activation activation() const { return activation_; }
 
   /// Computes activate(x * W + b) for a batch (rows = samples). Caches
-  /// intermediates for backward().
-  Tensor forward(const Tensor& x);
+  /// intermediates for backward(); the returned reference stays valid until
+  /// the next forward() call. `x` must not alias the cache (pass a distinct
+  /// tensor, e.g. the previous layer's output).
+  const Tensor& forward(const Tensor& x);
 
   /// Same as forward() but does not touch the cache; safe for inference on
   /// target networks while a training pass is in flight.
   Tensor forward_const(const Tensor& x) const;
 
+  /// Cache-free inference writing into `out` (resized to x.rows() x
+  /// out_dim). `out` must not alias `x`, the weights, or the bias.
+  void forward_into(const Tensor& x, Tensor& out) const;
+
   /// Given dL/d(output), accumulates dL/dW and dL/db into the gradient
   /// buffers and returns dL/d(input). Must follow a forward() call with the
   /// same batch.
   Tensor backward(const Tensor& grad_output);
+
+  /// backward() writing dL/d(input) into `grad_input` (a caller-owned
+  /// buffer, resized to the batch shape). `grad_input` must not alias
+  /// `grad_output` or any layer state.
+  void backward_into(const Tensor& grad_output, Tensor& grad_input);
 
   /// Zeroes the gradient accumulators.
   void zero_grad();
@@ -65,10 +80,13 @@ class DenseLayer {
   Tensor weight_grad_;  // accumulators, same shapes
   Tensor bias_grad_;
 
-  // Forward-pass cache.
+  // Forward-pass cache (buffers reused across calls).
   Tensor last_input_;
   Tensor last_pre_;
   Tensor last_post_;
+
+  // Backward-pass scratch (dL/d(pre-activation)).
+  Tensor grad_pre_;
 };
 
 }  // namespace miras::nn

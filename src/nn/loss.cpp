@@ -7,43 +7,59 @@
 namespace miras::nn {
 
 LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
+  LossResult result;
+  result.value = mse_loss_into(prediction, target, result.grad);
+  return result;
+}
+
+double mse_loss_into(const Tensor& prediction, const Tensor& target,
+                     Tensor& grad) {
   MIRAS_EXPECTS(prediction.same_shape(target));
   MIRAS_EXPECTS(prediction.size() > 0);
+  MIRAS_EXPECTS(&grad != &prediction && &grad != &target);
   const double scale = 1.0 / static_cast<double>(prediction.size());
-  LossResult result;
-  result.grad = Tensor(prediction.rows(), prediction.cols());
+  grad.resize(prediction.rows(), prediction.cols());
+  double value = 0.0;
   for (std::size_t r = 0; r < prediction.rows(); ++r) {
     for (std::size_t c = 0; c < prediction.cols(); ++c) {
       const double diff = prediction(r, c) - target(r, c);
-      result.value += 0.5 * diff * diff * scale;
-      result.grad(r, c) = diff * scale;
+      value += 0.5 * diff * diff * scale;
+      grad(r, c) = diff * scale;
     }
   }
-  return result;
+  return value;
 }
 
 LossResult huber_loss(const Tensor& prediction, const Tensor& target,
                       double delta) {
+  LossResult result;
+  result.value = huber_loss_into(prediction, target, delta, result.grad);
+  return result;
+}
+
+double huber_loss_into(const Tensor& prediction, const Tensor& target,
+                       double delta, Tensor& grad) {
   MIRAS_EXPECTS(prediction.same_shape(target));
   MIRAS_EXPECTS(prediction.size() > 0);
   MIRAS_EXPECTS(delta > 0.0);
+  MIRAS_EXPECTS(&grad != &prediction && &grad != &target);
   const double scale = 1.0 / static_cast<double>(prediction.size());
-  LossResult result;
-  result.grad = Tensor(prediction.rows(), prediction.cols());
+  grad.resize(prediction.rows(), prediction.cols());
+  double value = 0.0;
   for (std::size_t r = 0; r < prediction.rows(); ++r) {
     for (std::size_t c = 0; c < prediction.cols(); ++c) {
       const double diff = prediction(r, c) - target(r, c);
       const double abs_diff = std::abs(diff);
       if (abs_diff <= delta) {
-        result.value += 0.5 * diff * diff * scale;
-        result.grad(r, c) = diff * scale;
+        value += 0.5 * diff * diff * scale;
+        grad(r, c) = diff * scale;
       } else {
-        result.value += delta * (abs_diff - 0.5 * delta) * scale;
-        result.grad(r, c) = (diff > 0.0 ? delta : -delta) * scale;
+        value += delta * (abs_diff - 0.5 * delta) * scale;
+        grad(r, c) = (diff > 0.0 ? delta : -delta) * scale;
       }
     }
   }
-  return result;
+  return value;
 }
 
 }  // namespace miras::nn

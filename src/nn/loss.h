@@ -1,6 +1,10 @@
 // Regression losses with analytic gradients. Values are averaged over both
 // batch rows and output columns so learning rates transfer across batch
 // sizes and output widths.
+//
+// The `_into` variants write the gradient into a caller-owned tensor and
+// return the scalar loss, so the training loops reuse one gradient buffer
+// across steps.
 #pragma once
 
 #include "nn/tensor.h"
@@ -15,9 +19,19 @@ struct LossResult {
 /// Mean squared error: mean((pred - target)^2) / 2.
 LossResult mse_loss(const Tensor& prediction, const Tensor& target);
 
+/// mse_loss writing dL/d(prediction) into `grad` (resized); returns the
+/// scalar loss. `grad` must not alias the inputs.
+double mse_loss_into(const Tensor& prediction, const Tensor& target,
+                     Tensor& grad);
+
 /// Huber loss with threshold `delta` (quadratic inside, linear outside);
 /// robust to the occasional extreme WIP transition in the replay data.
 LossResult huber_loss(const Tensor& prediction, const Tensor& target,
                       double delta = 1.0);
+
+/// huber_loss writing dL/d(prediction) into `grad` (resized); returns the
+/// scalar loss. `grad` must not alias the inputs.
+double huber_loss_into(const Tensor& prediction, const Tensor& target,
+                       double delta, Tensor& grad);
 
 }  // namespace miras::nn

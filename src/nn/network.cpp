@@ -1,5 +1,7 @@
 #include "nn/network.h"
 
+#include <algorithm>
+
 #include "common/contracts.h"
 
 namespace miras::nn {
@@ -31,10 +33,11 @@ std::size_t Network::output_dim() const {
   return layers_.back().out_dim();
 }
 
-Tensor Network::forward(const Tensor& x) {
-  Tensor h = x;
-  for (auto& layer : layers_) h = layer.forward(h);
-  return h;
+const Tensor& Network::forward(const Tensor& x) {
+  MIRAS_EXPECTS(!layers_.empty());
+  const Tensor* h = &x;
+  for (auto& layer : layers_) h = &layer.forward(*h);
+  return *h;
 }
 
 Tensor Network::predict(const Tensor& x) const {
@@ -43,16 +46,42 @@ Tensor Network::predict(const Tensor& x) const {
   return h;
 }
 
+void Network::predict_batch(const Tensor& x, Workspace& ws, Tensor& out) const {
+  MIRAS_EXPECTS(!layers_.empty());
+  MIRAS_EXPECTS(&out != &x && &out != &ws.a && &out != &ws.b);
+  const Tensor* h = &x;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    Tensor& dst = (l % 2 == 0) ? ws.a : ws.b;
+    layers_[l].forward_into(*h, dst);
+    h = &dst;
+  }
+  layers_.back().forward_into(*h, out);
+}
+
 std::vector<double> Network::predict_one(const std::vector<double>& x) const {
   return predict(Tensor::row_vector(x)).row(0);
 }
 
-Tensor Network::backward(const Tensor& grad_output) {
+void Network::predict_one(const std::vector<double>& x, Workspace& ws,
+                          std::vector<double>& out) const {
+  MIRAS_EXPECTS(x.size() == input_dim());
+  ws.x1.resize(1, x.size());
+  std::copy(x.begin(), x.end(), ws.x1.data());
+  predict_batch(ws.x1, ws, ws.y1);
+  out.assign(ws.y1.data(), ws.y1.data() + ws.y1.size());
+}
+
+const Tensor& Network::backward(const Tensor& grad_output) {
   MIRAS_EXPECTS(!layers_.empty());
-  Tensor grad = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
-    grad = it->backward(grad);
-  return grad;
+  const Tensor* g = &grad_output;
+  bool into_a = true;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Tensor& dst = into_a ? bwd_a_ : bwd_b_;
+    it->backward_into(*g, dst);
+    g = &dst;
+    into_a = !into_a;
+  }
+  return *g;
 }
 
 void Network::zero_grad() {

@@ -3,9 +3,17 @@
 // Supports everything MIRAS needs from its networks:
 //  - batched forward/backward for supervised training (dynamics model,
 //    critic) and policy-gradient training (actor),
+//  - allocation-free inference through a caller-owned Workspace
+//    (predict_batch / predict_one overloads),
 //  - flat parameter get/set for parameter-space exploration noise and for
 //    DDPG's Polyak-averaged target networks,
 //  - value semantics (copyable) so a perturbed/target copy is one line.
+//
+// Thread-safety note: forward/backward mutate per-layer caches, and the
+// Workspace overloads mutate the workspace — both are single-threaded per
+// instance. The allocating `predict` / `predict_one` are const and touch no
+// shared state, so they remain safe to call concurrently on one network
+// (the evaluation grid relies on this).
 #pragma once
 
 #include <cstddef>
@@ -13,6 +21,7 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "nn/workspace.h"
 
 namespace miras::nn {
 
@@ -43,18 +52,32 @@ class Network {
   std::vector<DenseLayer>& layers() { return layers_; }
   const std::vector<DenseLayer>& layers() const { return layers_; }
 
-  /// Training-mode forward pass (caches intermediates for backward()).
-  Tensor forward(const Tensor& x);
+  /// Training-mode forward pass (caches intermediates for backward()). The
+  /// returned reference is the last layer's output buffer; it stays valid
+  /// until the next forward() on this network.
+  const Tensor& forward(const Tensor& x);
 
   /// Inference-only forward pass; does not disturb training caches.
+  /// Allocates — use predict_batch for the hot paths.
   Tensor predict(const Tensor& x) const;
 
-  /// Convenience for a single input vector.
+  /// Inference through workspace buffers: zero steady-state allocations.
+  /// Bit-identical to predict() on the same inputs, and — row for row —
+  /// bit-identical to predicting each row on its own (the kernel invariant
+  /// in tensor.h). `out` must not alias `x`, ws.a, or ws.b.
+  void predict_batch(const Tensor& x, Workspace& ws, Tensor& out) const;
+
+  /// Convenience for a single input vector. Allocates.
   std::vector<double> predict_one(const std::vector<double>& x) const;
 
+  /// predict_one through workspace staging (ws.x1 / ws.y1); writes the
+  /// output into `out` (resized). Zero steady-state allocations.
+  void predict_one(const std::vector<double>& x, Workspace& ws,
+                   std::vector<double>& out) const;
+
   /// Backpropagates dL/d(output); accumulates parameter gradients and
-  /// returns dL/d(input).
-  Tensor backward(const Tensor& grad_output);
+  /// returns dL/d(input) by reference (valid until the next backward()).
+  const Tensor& backward(const Tensor& grad_output);
 
   void zero_grad();
 
@@ -76,6 +99,10 @@ class Network {
 
  private:
   std::vector<DenseLayer> layers_;
+
+  // Backward-pass ping-pong buffers (reused across calls).
+  Tensor bwd_a_;
+  Tensor bwd_b_;
 };
 
 }  // namespace miras::nn

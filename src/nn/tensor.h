@@ -1,11 +1,22 @@
 // Dense row-major 2-D tensor (matrix) with the operations the network stack
-// needs: matmul (cache-friendly ikj order), transpose-free matmul variants,
+// needs: a register-blocked matmul, transpose-free matmul variants,
 // elementwise arithmetic, row broadcasting. Batches are rows: a forward pass
 // over a batch of B inputs of width D is a (B x D) Tensor.
+//
+// Every product kernel has an `_into` variant that writes into a
+// caller-owned output tensor, reusing its heap buffer when the capacity
+// suffices. The hot paths (DDPG updates, synthetic rollouts) route all
+// intermediates through preallocated workspaces via these variants, so
+// steady-state inference and training allocate nothing.
+//
+// Kernel invariant: every output element accumulates its contributions in
+// ascending reduction-index order, independent of the other rows in the
+// batch. This is what makes batched forward passes bit-identical to
+// row-at-a-time passes (see DESIGN.md §5) — blocked kernels may reorder
+// *across* output elements but never within one.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 namespace miras::nn {
@@ -37,6 +48,16 @@ class Tensor {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Reshapes to (rows x cols) without initialising the elements; existing
+  /// heap capacity is reused, so repeated resizes to previously seen sizes
+  /// never allocate. Element values are unspecified afterwards — callers
+  /// must fill or overwrite.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Makes this an elementwise copy of `other` (shape included), reusing
+  /// the existing buffer when capacity allows.
+  void copy_from(const Tensor& other);
+
   /// Copies row r out as a vector.
   std::vector<double> row(std::size_t r) const;
 
@@ -46,13 +67,26 @@ class Tensor {
   /// this (m x k) * other (k x n) -> (m x n).
   Tensor matmul(const Tensor& other) const;
 
+  /// matmul writing into `out` (resized to m x n; prior contents dropped).
+  /// `out` must not alias this or `other`.
+  void matmul_into(const Tensor& other, Tensor& out) const;
+
   /// this^T (k x m -> m x k) * other (k x n) -> (m x n), without forming the
   /// transpose. Used for weight gradients: dW = X^T * dY.
   Tensor transposed_matmul(const Tensor& other) const;
 
+  /// transposed_matmul writing into `out`. With `accumulate` the product is
+  /// added onto the existing contents of `out` (which must already be
+  /// m x n) — the gradient-accumulation shape dW += X^T * dY.
+  void transposed_matmul_into(const Tensor& other, Tensor& out,
+                              bool accumulate = false) const;
+
   /// this (m x k) * other^T (n x k -> k x n) -> (m x n). Used for input
   /// gradients: dX = dY * W^T.
   Tensor matmul_transposed(const Tensor& other) const;
+
+  /// matmul_transposed writing into `out` (resized to m x n).
+  void matmul_transposed_into(const Tensor& other, Tensor& out) const;
 
   Tensor transposed() const;
 
@@ -66,14 +100,26 @@ class Tensor {
   /// Elementwise (Hadamard) product.
   Tensor hadamard(const Tensor& other) const;
 
-  /// Adds `bias` (1 x cols) to every row.
+  /// Adds `bias` (1 x cols) to every row in place.
   void add_row_broadcast(const Tensor& bias);
+
+  /// out = this + bias broadcast over rows, without touching this.
+  /// `bias` is (1 x cols); `out` must not alias this or `bias`.
+  void add_row_broadcast_into(const Tensor& bias, Tensor& out) const;
 
   /// Sums all rows into a 1 x cols tensor (for bias gradients).
   Tensor column_sums() const;
 
-  /// Applies f to every element in place.
-  void apply(const std::function<double(double)>& f);
+  /// column_sums writing into `out` (1 x cols). With `accumulate` the sums
+  /// are added onto the existing contents (bias-gradient accumulation).
+  void column_sums_into(Tensor& out, bool accumulate = false) const;
+
+  /// Applies f to every element in place. Statically dispatched so the
+  /// functor inlines into the loop (no per-element indirect call).
+  template <typename F>
+  void apply(F&& f) {
+    for (double& x : data_) x = f(x);
+  }
 
   /// Sum of all elements.
   double sum() const;
@@ -81,7 +127,7 @@ class Tensor {
   /// Frobenius norm.
   double norm() const;
 
-  /// Fills with zeros.
+  /// Overwrites every element with `value`.
   void fill(double value);
 
   bool same_shape(const Tensor& other) const {

@@ -1,0 +1,38 @@
+// Reusable scratch buffers for the allocation-free inference paths.
+//
+// A Workspace is plain storage: buffers grow to the largest shapes they
+// have seen and are reused across calls, so steady-state predict_batch /
+// predict_one calls perform zero heap allocations. Contents carry no
+// meaning between calls. A Workspace is NOT thread-safe — use one per
+// thread (the seed-sharded rollout lanes and the serial DDPG update loop
+// each own theirs).
+//
+// Field roles (callers other than the owners below should treat the
+// struct as opaque storage):
+//   a, b    — layer-to-layer ping-pong inside Network / CriticNetwork
+//   in      — normalised design-matrix assembly (DynamicsModel)
+//   concat  — the critic's [h1 || action] staging row block
+//   c, d    — auxiliary batch staging (ModelRefiner's lend queries)
+//   x1, y1  — single-sample input/output staging (predict_one)
+//   row     — scalar scratch (single-sample assembly outside the tensors)
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace miras::nn {
+
+struct Workspace {
+  Tensor a;
+  Tensor b;
+  Tensor in;
+  Tensor concat;
+  Tensor c;
+  Tensor d;
+  Tensor x1;
+  Tensor y1;
+  std::vector<double> row;
+};
+
+}  // namespace miras::nn

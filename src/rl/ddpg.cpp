@@ -122,14 +122,27 @@ std::vector<double> DdpgAgent::normalize_state(
   return normalized;
 }
 
-nn::Tensor DdpgAgent::normalize_states(
-    const std::vector<const Experience*>& batch, bool next) const {
-  nn::Tensor states(batch.size(), state_dim_);
+void DdpgAgent::normalize_states_into(
+    const std::vector<const Experience*>& batch, bool next,
+    nn::Tensor& out) const {
+  out.resize(batch.size(), state_dim_);
   for (std::size_t b = 0; b < batch.size(); ++b) {
     const auto& raw = next ? batch[b]->next_state : batch[b]->state;
-    states.set_row(b, normalize_state(raw));
+    MIRAS_EXPECTS(raw.size() == state_dim_);
+    // Mirrors normalize_state() element for element, writing rows in place.
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      const double feature = state_feature(raw[j]);
+      if (state_stats_[j].count() < 2) {
+        out(b, j) = feature;
+        continue;
+      }
+      const double floor =
+          config_.log_state_features ? kMinStddevLog : kMinStddevRaw;
+      const double mean = state_stats_[j].mean();
+      const double stddev = std::max(state_stats_[j].stddev(), floor);
+      out(b, j) = (feature - mean) / stddev;
+    }
   }
-  return states;
 }
 
 std::vector<double> DdpgAgent::act(const std::vector<double>& state,
@@ -143,14 +156,16 @@ std::vector<double> DdpgAgent::act(const std::vector<double>& state,
     return proportional_demo_action(state);
 
   const std::vector<double> normalized = normalize_state(state);
-  if (config_.exploration == ExplorationMode::kParameterNoise)
-    return perturbed_actor_.predict_one(normalized);
+  if (config_.exploration == ExplorationMode::kParameterNoise) {
+    perturbed_actor_.predict_one(normalized, ws_, act_scratch_);
+    return act_scratch_;
+  }
 
   // Action-space noise: perturb the clean action. The perturbed weights can
   // leave the simplex; count the would-be constraint violations that the
   // paper observes with this exploration mode (§IV-D).
-  const std::vector<double> clean = actor_.predict_one(normalized);
-  std::vector<double> noisy = action_noise_.apply(clean, rng_);
+  actor_.predict_one(normalized, ws_, act_scratch_);
+  std::vector<double> noisy = action_noise_.apply(act_scratch_, rng_);
   if (raw_weights_violate_budget(noisy, consumer_budget_))
     ++constraint_violations_;
   return noisy;
@@ -214,33 +229,40 @@ ExplorationSnapshot DdpgAgent::snapshot_exploration(Rng& rng) const {
   return snapshot;
 }
 
-std::vector<double> ExplorationSnapshot::normalize(
-    const std::vector<double>& state) const {
+const std::vector<double>& ExplorationSnapshot::normalize(
+    const std::vector<double>& state) {
   MIRAS_EXPECTS(state.size() == shift_.size());
-  std::vector<double> normalized(state.size());
+  norm_.resize(state.size());
   for (std::size_t j = 0; j < state.size(); ++j) {
     const double feature = log_state_features_
                                ? std::log1p(std::max(state[j], 0.0))
                                : state[j];
-    normalized[j] = (feature - shift_[j]) / scale_[j];
+    norm_[j] = (feature - shift_[j]) / scale_[j];
   }
-  return normalized;
+  return norm_;
 }
 
 std::vector<double> ExplorationSnapshot::act(const std::vector<double>& state,
                                              Rng& rng) {
-  if (exploration_ == ExplorationMode::kNone)
-    return policy_.predict_one(normalize(state));
+  if (exploration_ == ExplorationMode::kNone) {
+    std::vector<double> out;
+    policy_.predict_one(normalize(state), ws_, out);
+    return out;
+  }
 
   const double roll = rng.uniform();
   if (roll < epsilon_random_) return uniform_simplex_point(action_dim_, rng);
   if (roll < epsilon_random_ + epsilon_demo_)
     return wip_proportional_weights(state, action_dim_, rng);
 
-  if (exploration_ == ExplorationMode::kParameterNoise)
-    return policy_.predict_one(normalize(state));
+  if (exploration_ == ExplorationMode::kParameterNoise) {
+    std::vector<double> out;
+    policy_.predict_one(normalize(state), ws_, out);
+    return out;
+  }
 
-  const std::vector<double> clean = policy_.predict_one(normalize(state));
+  std::vector<double> clean;
+  policy_.predict_one(normalize(state), ws_, clean);
   const GaussianActionNoise noise(action_noise_stddev_);
   std::vector<double> noisy = noise.apply(clean, rng);
   if (raw_weights_violate_budget(noisy, consumer_budget_)) ++violations_;
@@ -281,7 +303,7 @@ void DdpgAgent::mature_front_transition() {
   matured.next_state = pending_.back().next_state;
   matured.discount = factor;
   replay_.add(std::move(matured));
-  pending_.erase(pending_.begin());
+  pending_.pop_front();
 }
 
 void DdpgAgent::end_episode() {
@@ -305,17 +327,14 @@ double DdpgAgent::update(std::size_t count) {
     const auto batch = replay_.sample(config_.batch_size, rng_);
     const std::size_t b_size = batch.size();
 
-    const nn::Tensor states = normalize_states(batch, /*next=*/false);
-    const nn::Tensor next_states = normalize_states(batch, /*next=*/true);
-    nn::Tensor actions(b_size, action_dim_);
-    nn::Tensor rewards(b_size, 1);
-    for (std::size_t b = 0; b < b_size; ++b) {
-      actions.set_row(b, batch[b]->action);
-      rewards(b, 0) = batch[b]->reward;
-    }
+    normalize_states_into(batch, /*next=*/false, batch_states_);
+    normalize_states_into(batch, /*next=*/true, batch_next_states_);
+    batch_actions_.resize(b_size, action_dim_);
+    for (std::size_t b = 0; b < b_size; ++b)
+      batch_actions_.set_row(b, batch[b]->action);
 
     // ---- Critic update: y = R + gamma^n * min_i Q_i'(s', ~mu'(s')).
-    nn::Tensor next_actions = actor_target_.predict(next_states);
+    actor_target_.predict_batch(batch_next_states_, ws_, next_actions_);
     if (config_.target_policy_smoothing > 0.0) {
       // Mix the bootstrap action with uniform so the target values a small
       // neighbourhood of the policy, not a knife-edge simplex corner.
@@ -323,16 +342,16 @@ double DdpgAgent::update(std::size_t count) {
       const double uniform_mass = kappa / static_cast<double>(action_dim_);
       for (std::size_t b = 0; b < b_size; ++b)
         for (std::size_t j = 0; j < action_dim_; ++j)
-          next_actions(b, j) =
-              (1.0 - kappa) * next_actions(b, j) + uniform_mass;
+          next_actions_(b, j) =
+              (1.0 - kappa) * next_actions_(b, j) + uniform_mass;
     }
-    const nn::Tensor next_q = critic_target_.predict(next_states, next_actions);
-    nn::Tensor next_q_min = next_q;
+    critic_target_.predict_batch(batch_next_states_, next_actions_, ws_,
+                                 next_q_);
     if (config_.twin_critics) {
-      const nn::Tensor next_q2 =
-          critic2_target_.predict(next_states, next_actions);
+      critic2_target_.predict_batch(batch_next_states_, next_actions_, ws_,
+                                    next_q2_);
       for (std::size_t b = 0; b < b_size; ++b)
-        next_q_min(b, 0) = std::min(next_q(b, 0), next_q2(b, 0));
+        next_q_(b, 0) = std::min(next_q_(b, 0), next_q2_(b, 0));
     }
     // Any true Q lies in [min_r, max_r] / (1 - gamma); clamping the
     // bootstrapped target to that box prevents value divergence (the
@@ -341,26 +360,27 @@ double DdpgAgent::update(std::size_t count) {
     // inside the same geometric envelope.
     const double q_floor = min_reward_seen_ / (1.0 - config_.gamma);
     const double q_ceil = max_reward_seen_ / (1.0 - config_.gamma);
-    nn::Tensor targets(b_size, 1);
+    targets_.resize(b_size, 1);
     for (std::size_t b = 0; b < b_size; ++b)
-      targets(b, 0) =
-          std::clamp(rewards(b, 0) + batch[b]->discount * next_q_min(b, 0),
+      targets_(b, 0) =
+          std::clamp(batch[b]->reward + batch[b]->discount * next_q_(b, 0),
                      q_floor, q_ceil);
 
     critic_.zero_grad();
-    const nn::Tensor q_values = critic_.forward(states, actions);
-    const nn::LossResult critic_loss = nn::huber_loss(q_values, targets, 10.0);
-    critic_.backward(critic_loss.grad);
+    const nn::Tensor& q_values = critic_.forward(batch_states_, batch_actions_);
+    const double critic_loss =
+        nn::huber_loss_into(q_values, targets_, 10.0, loss_grad_);
+    critic_.backward_into(loss_grad_, grad_states_, grad_actions_);
     nn::clip_gradients(critic_.layers(), config_.grad_clip);
     critic_optimizer_.step(critic_.layers());
-    critic_loss_sum += critic_loss.value;
+    critic_loss_sum += critic_loss;
 
     if (config_.twin_critics) {
       critic2_.zero_grad();
-      const nn::Tensor q2_values = critic2_.forward(states, actions);
-      const nn::LossResult critic2_loss =
-          nn::huber_loss(q2_values, targets, 10.0);
-      critic2_.backward(critic2_loss.grad);
+      const nn::Tensor& q2_values =
+          critic2_.forward(batch_states_, batch_actions_);
+      nn::huber_loss_into(q2_values, targets_, 10.0, loss_grad_);
+      critic2_.backward_into(loss_grad_, grad_states_, grad_actions_);
       nn::clip_gradients(critic2_.layers(), config_.grad_clip);
       critic2_optimizer_.step(critic2_.layers());
     }
@@ -375,12 +395,11 @@ double DdpgAgent::update(std::size_t count) {
 
     actor_.zero_grad();
     critic_.zero_grad();  // the critic is only a conduit for gradients here
-    const nn::Tensor policy_actions = actor_.forward(states);
-    (void)critic_.forward(states, policy_actions);
-    nn::Tensor grad_q(b_size, 1);
-    grad_q.fill(-1.0 / static_cast<double>(b_size));  // maximise mean Q
-    auto [grad_states, grad_actions] = critic_.backward(grad_q);
-    (void)grad_states;
+    const nn::Tensor& policy_actions = actor_.forward(batch_states_);
+    (void)critic_.forward(batch_states_, policy_actions);
+    grad_q_.resize(b_size, 1);
+    grad_q_.fill(-1.0 / static_cast<double>(b_size));  // maximise mean Q
+    critic_.backward_into(grad_q_, grad_states_, grad_actions_);
     if (config_.actor_entropy_coef > 0.0) {
       // loss += beta * sum_j a_j log a_j (negative entropy), averaged over
       // the batch; d/da_j = beta * (log a_j + 1).
@@ -388,10 +407,10 @@ double DdpgAgent::update(std::size_t count) {
           config_.actor_entropy_coef / static_cast<double>(b_size);
       for (std::size_t b = 0; b < b_size; ++b)
         for (std::size_t j = 0; j < action_dim_; ++j)
-          grad_actions(b, j) +=
+          grad_actions_(b, j) +=
               beta * (std::log(std::max(policy_actions(b, j), 1e-12)) + 1.0);
     }
-    actor_.backward(grad_actions);
+    actor_.backward(grad_actions_);
     nn::clip_gradients(actor_.layers(), config_.grad_clip);
     actor_optimizer_.step(actor_.layers());
     if (config_.actor_logit_decay > 0.0) {
@@ -429,14 +448,16 @@ void DdpgAgent::adapt_parameter_noise() {
   // on a small probe batch, then steer sigma toward the target distance.
   const std::size_t probe = std::min<std::size_t>(16, replay_.size());
   const auto batch = replay_.sample(probe, rng_);
-  const nn::Tensor states = normalize_states(batch, /*next=*/false);
-  const nn::Tensor clean = actor_.predict(states);
-  const nn::Tensor perturbed = perturbed_actor_.predict(states);
+  normalize_states_into(batch, /*next=*/false, batch_states_);
+  // ws_.c / ws_.d double as the clean/perturbed probe outputs here; the
+  // refiner never shares this workspace.
+  actor_.predict_batch(batch_states_, ws_, ws_.c);
+  perturbed_actor_.predict_batch(batch_states_, ws_, ws_.d);
   double distance_sum = 0.0;
   for (std::size_t b = 0; b < batch.size(); ++b) {
     double sq = 0.0;
     for (std::size_t j = 0; j < action_dim_; ++j) {
-      const double diff = clean(b, j) - perturbed(b, j);
+      const double diff = ws_.c(b, j) - ws_.d(b, j);
       sq += diff * diff;
     }
     distance_sum += std::sqrt(sq);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "nn/critic_network.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "nn/workspace.h"
 #include "rl/action.h"
 #include "rl/noise.h"
 #include "rl/replay_buffer.h"
@@ -136,7 +138,8 @@ class ExplorationSnapshot {
   friend class DdpgAgent;
   ExplorationSnapshot() = default;
 
-  std::vector<double> normalize(const std::vector<double>& state) const;
+  /// Normalises into the reused norm_ buffer (valid until the next call).
+  const std::vector<double>& normalize(const std::vector<double>& state);
 
   ExplorationMode exploration_ = ExplorationMode::kNone;
   double epsilon_random_ = 0.0;
@@ -151,6 +154,11 @@ class ExplorationSnapshot {
   std::vector<double> shift_;
   std::vector<double> scale_;
   std::size_t violations_ = 0;
+  // Per-snapshot inference scratch: snapshots act from worker threads, so
+  // each owns its buffers and steady-state act() calls do not allocate
+  // inside the network.
+  nn::Workspace ws_;
+  std::vector<double> norm_;
 };
 
 class DdpgAgent {
@@ -240,8 +248,8 @@ class DdpgAgent {
   std::vector<double> random_simplex_action();
   std::vector<double> proportional_demo_action(
       const std::vector<double>& state);
-  nn::Tensor normalize_states(const std::vector<const Experience*>& batch,
-                              bool next) const;
+  void normalize_states_into(const std::vector<const Experience*>& batch,
+                             bool next, nn::Tensor& out) const;
   void adapt_parameter_noise();
   void refresh_perturbed_actor();
 
@@ -265,7 +273,10 @@ class DdpgAgent {
 
   ReplayBuffer replay_;
   // Sliding window of raw 1-step transitions awaiting n-step maturation.
-  std::vector<Experience> pending_;
+  // A deque: maturation pops the front while observe() pushes the back, so
+  // the window must not pay a shift of the whole tail per matured
+  // transition.
+  std::deque<Experience> pending_;
   AdaptiveParameterNoise parameter_noise_;
   GaussianActionNoise action_noise_;
 
@@ -278,6 +289,23 @@ class DdpgAgent {
   bool any_reward_seen_ = false;
   std::size_t updates_performed_ = 0;
   std::size_t constraint_violations_ = 0;
+
+  // Update-loop scratch: the gradient updates are always serial, so one set
+  // of reused buffers makes the whole update step allocation-free at steady
+  // state (the minibatch shape is fixed).
+  nn::Workspace ws_;
+  nn::Tensor batch_states_;
+  nn::Tensor batch_next_states_;
+  nn::Tensor batch_actions_;
+  nn::Tensor next_actions_;
+  nn::Tensor next_q_;
+  nn::Tensor next_q2_;
+  nn::Tensor targets_;
+  nn::Tensor loss_grad_;
+  nn::Tensor grad_q_;
+  nn::Tensor grad_states_;
+  nn::Tensor grad_actions_;
+  std::vector<double> act_scratch_;
 };
 
 }  // namespace miras::rl

@@ -108,12 +108,15 @@ MirasConfig tiny_config(std::uint64_t seed) {
 }
 
 std::vector<IterationTrace> train_sharded(const EnsembleSetup& setup,
-                                          common::ThreadPool* pool) {
+                                          common::ThreadPool* pool,
+                                          std::size_t lockstep_width = 8) {
   sim::SystemConfig system_config;
   system_config.consumer_budget = setup.budget;
   system_config.seed = 77;
   sim::MicroserviceSystem system(setup.make_ensemble(), system_config);
-  MirasAgent agent(&system, tiny_config(9));
+  MirasConfig config = tiny_config(9);
+  config.lockstep_width = lockstep_width;
+  MirasAgent agent(&system, config);
   agent.enable_parallel_collection(
       pool, [&setup](std::uint64_t seed) -> std::unique_ptr<sim::Env> {
         sim::SystemConfig config;
@@ -125,21 +128,41 @@ std::vector<IterationTrace> train_sharded(const EnsembleSetup& setup,
   return agent.train();
 }
 
+void expect_identical_traces(const std::vector<IterationTrace>& a,
+                             const std::vector<IterationTrace>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dataset_size, b[i].dataset_size);
+    EXPECT_EQ(a[i].model_train_loss, b[i].model_train_loss);
+    EXPECT_EQ(a[i].eval_aggregate_reward, b[i].eval_aggregate_reward);
+    EXPECT_EQ(a[i].parameter_noise_stddev, b[i].parameter_noise_stddev);
+  }
+}
+
 TEST(ParallelDeterminism, MirasTrainingIdenticalAcrossWorkerCounts) {
   for (const EnsembleSetup& setup : both_ensembles()) {
     SCOPED_TRACE(setup.name);
     common::ThreadPool eight(8);
     const auto serial = train_sharded(setup, nullptr);
     const auto parallel = train_sharded(setup, &eight);
-    ASSERT_EQ(serial.size(), parallel.size());
-    for (std::size_t i = 0; i < serial.size(); ++i) {
-      EXPECT_EQ(serial[i].dataset_size, parallel[i].dataset_size);
-      EXPECT_EQ(serial[i].model_train_loss, parallel[i].model_train_loss);
-      EXPECT_EQ(serial[i].eval_aggregate_reward,
-                parallel[i].eval_aggregate_reward);
-      EXPECT_EQ(serial[i].parameter_noise_stddev,
-                parallel[i].parameter_noise_stddev);
-    }
+    expect_identical_traces(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminism, MirasTrainingIdenticalAcrossLockstepWidths) {
+  // The lockstep group width only changes how many lanes share a batched
+  // model query (and which groups worker threads pick up) — never the
+  // per-lane rng streams or the numbers. Width 1 is the per-sample path,
+  // width 0 the whole batch in one group; combined with 1-vs-8 threads
+  // this pins lockstep == sequential generation bit for bit.
+  for (const EnsembleSetup& setup : both_ensembles()) {
+    SCOPED_TRACE(setup.name);
+    common::ThreadPool eight(8);
+    const auto per_sample = train_sharded(setup, nullptr, 1);
+    const auto width3 = train_sharded(setup, &eight, 3);
+    const auto whole_batch = train_sharded(setup, &eight, 0);
+    expect_identical_traces(per_sample, width3);
+    expect_identical_traces(per_sample, whole_batch);
   }
 }
 
