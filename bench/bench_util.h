@@ -3,10 +3,12 @@
 // corresponding paper figure plots, as aligned tables (and CSV on request).
 #pragma once
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -15,6 +17,7 @@
 #include "common/csv.h"
 #include "common/thread_pool.h"
 #include "core/evaluation.h"
+#include "core/miras_agent.h"
 #include "rl/policy.h"
 #include "sim/system.h"
 
@@ -35,6 +38,13 @@ struct BenchOptions {
   /// Result tables are byte-identical for every value — only wall time
   /// changes. Timing goes to stderr so stdout stays comparable.
   std::size_t threads = 1;
+  /// Save a training checkpoint after every N outer iterations (0 = off).
+  std::size_t checkpoint_every = 0;
+  /// Where checkpoints land; empty means a per-section default path.
+  std::string checkpoint_path;
+  /// Resume training from this checkpoint before running any iterations.
+  /// The resumed run continues bit-identically to one that never stopped.
+  std::string resume;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -53,14 +63,50 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
       if (options.threads == 0)
         options.threads = common::ThreadPool::hardware_threads();
+    } else if (arg == "--checkpoint-every" && i + 1 < argc) {
+      options.checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--checkpoint-path" && i + 1 < argc) {
+      options.checkpoint_path = argv[++i];
+    } else if (arg == "--resume" && i + 1 < argc) {
+      options.resume = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--full] [--csv] [--seed N] [--dataset msd|ligo]"
-                   " [--threads N]\n";
+                   " [--threads N] [--checkpoint-every N]"
+                   " [--checkpoint-path FILE] [--resume FILE]\n";
       std::exit(0);
     }
   }
   return options;
+}
+
+inline std::string to_lower(std::string s) {
+  for (char& c : s)
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Drives a MIRAS training run under the checkpoint flags: restores from
+/// --resume first (if given), then runs outer iterations until the config's
+/// total, saving to the checkpoint path after every --checkpoint-every
+/// iterations. `on_trace` sees only the iterations executed in THIS process
+/// — a resumed run re-prints nothing, so concatenating the pre-kill and
+/// post-resume outputs reproduces the uninterrupted run's rows.
+inline void train_with_checkpoints(
+    core::MirasAgent& agent, const BenchOptions& options,
+    const std::string& default_checkpoint_path,
+    const std::function<void(const core::IterationTrace&)>& on_trace) {
+  const std::string path = options.checkpoint_path.empty()
+                               ? default_checkpoint_path
+                               : options.checkpoint_path;
+  if (!options.resume.empty()) agent.restore_checkpoint(options.resume);
+  const std::size_t total = agent.config().outer_iterations;
+  while (agent.iterations_run() < total) {
+    on_trace(agent.run_iteration());
+    if (options.checkpoint_every > 0 &&
+        agent.iterations_run() % options.checkpoint_every == 0)
+      agent.save_checkpoint(path);
+  }
 }
 
 /// Pool for the requested worker count, or null for the single-threaded

@@ -92,10 +92,17 @@ inline void run_comparison(const ComparisonSetup& setup,
     ScopedTimer timer(setup.name + " training", options.threads);
     std::future<rl::DdpgAgent> mf_future;
     if (pool != nullptr)
-      mf_future = pool->submit(train_mf);  // overlaps with miras.train()
-    const auto traces = miras.train();
-    std::cout << "MIRAS final eval aggregated reward: "
-              << format_double(traces.back().eval_aggregate_reward, 1) << "\n";
+      mf_future = pool->submit(train_mf);  // overlaps with the MIRAS training
+    std::vector<core::IterationTrace> traces;
+    train_with_checkpoints(
+        miras, options, to_lower(setup.name) + "_miras.ckpt",
+        [&traces](const core::IterationTrace& trace) {
+          traces.push_back(trace);
+        });
+    if (!traces.empty())
+      std::cout << "MIRAS final eval aggregated reward: "
+                << format_double(traces.back().eval_aggregate_reward, 1)
+                << "\n";
     std::cout << "training model-free DDPG (same " << total_real_steps
               << " real interactions)\n";
     mf_agent = std::make_unique<rl::DdpgAgent>(

@@ -35,17 +35,19 @@ void run_fig6(const std::string& name, workflows::Ensemble ensemble,
   core::MirasAgent agent(&system, config);
   Table table({"iteration", "real_steps_total", "dataset_size",
                "model_train_loss", "eval_aggregate_reward"});
-  for (std::size_t i = 0; i < config.outer_iterations; ++i) {
-    const core::IterationTrace trace = agent.run_iteration();
-    table.add_row(
-        {std::to_string(trace.iteration),
-         std::to_string(trace.iteration * config.real_steps_per_iteration),
-         std::to_string(trace.dataset_size),
-         format_double(trace.model_train_loss, 4),
-         format_double(trace.eval_aggregate_reward, 1)});
-    out << "  iteration " << trace.iteration << ": eval aggregated reward "
-        << format_double(trace.eval_aggregate_reward, 1) << "\n";
-  }
+  bench::train_with_checkpoints(
+      agent, options, "fig6_" + bench::to_lower(name) + ".ckpt",
+      [&](const core::IterationTrace& trace) {
+        table.add_row(
+            {std::to_string(trace.iteration),
+             std::to_string(trace.iteration * config.real_steps_per_iteration),
+             std::to_string(trace.dataset_size),
+             format_double(trace.model_train_loss, 4),
+             format_double(trace.eval_aggregate_reward, 1)});
+        out << "  iteration " << trace.iteration
+            << ": eval aggregated reward "
+            << format_double(trace.eval_aggregate_reward, 1) << "\n";
+      });
   bench::emit(table, options, "Figure 6 training trace — " + name, out);
 }
 
@@ -77,6 +79,16 @@ int main(int argc, char** argv) {
     config.seed = options.seed + 5;
     sections.push_back(Fig6Section{"LIGO", workflows::make_ligo_ensemble(),
                                    workflows::kLigoConsumerBudget, config});
+  }
+
+  // A checkpoint file holds ONE section's training state, so resuming (or
+  // checkpointing to an explicit path) only makes sense for a single
+  // dataset.
+  if ((!options.resume.empty() || !options.checkpoint_path.empty()) &&
+      sections.size() > 1) {
+    std::cerr << "fig6: --resume/--checkpoint-path apply to one training "
+                 "run; pick it with --dataset msd|ligo\n";
+    return 2;
   }
 
   // The two training traces are independent; run them concurrently with

@@ -35,6 +35,16 @@ Rng::Rng(std::uint64_t seed) {
   for (auto& word : state_) word = splitmix64(s);
 }
 
+RngState Rng::state() const {
+  return RngState{state_, has_cached_normal_, cached_normal_};
+}
+
+void Rng::set_state(const RngState& state) {
+  state_ = state.words;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
   const std::uint64_t t = state_[1] << 17;

@@ -24,10 +24,29 @@ std::uint64_t splitmix64(std::uint64_t& state);
 /// or scheduling order — determines all random streams.
 std::uint64_t shard_seed(std::uint64_t root_seed, std::uint64_t shard_index);
 
+/// Complete serialisable state of an Rng: the four xoshiro256++ words plus
+/// the Box-Muller cache. Restoring it replays the exact draw sequence the
+/// captured generator would have produced — including a pending cached
+/// normal — which is what crash-resume bit-identity requires.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 /// Deterministic xoshiro256++ generator with portable distributions.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Captures the full generator state (stream position + normal cache).
+  RngState state() const;
+
+  /// Restores a state captured by state(); the next draws reproduce the
+  /// captured generator's continuation exactly.
+  void set_state(const RngState& state);
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64();

@@ -47,6 +47,17 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+RunningStats RunningStats::from_moments(std::size_t count, double mean,
+                                        double m2, double min, double max) {
+  RunningStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 Ewma::Ewma(double alpha) : alpha_(alpha) {
   MIRAS_EXPECTS(alpha > 0.0 && alpha <= 1.0);
 }

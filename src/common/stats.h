@@ -25,6 +25,16 @@ class RunningStats {
   double min() const { return min_; }
   double max() const { return max_; }
 
+  /// Raw second central moment (Welford's m2). Together with count/mean/
+  /// min/max this is the complete internal state; exposed so checkpoints
+  /// can round-trip the accumulator bit-identically.
+  double m2() const { return m2_; }
+
+  /// Reconstructs an accumulator from raw moments captured via the
+  /// accessors above; the inverse of (count, mean, m2, min, max).
+  static RunningStats from_moments(std::size_t count, double mean, double m2,
+                                   double min, double max);
+
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/contracts.h"
 #include "common/logging.h"
 #include "envmodel/synthetic_env.h"
+#include "persist/checkpoint.h"
 #include "rl/action.h"
 #include "sim/system.h"
 
@@ -394,6 +397,123 @@ std::vector<IterationTrace> MirasAgent::train() {
 
 std::unique_ptr<rl::Policy> MirasAgent::make_policy() {
   return std::make_unique<DdpgPolicy>(&agent_, "miras");
+}
+
+void MirasAgent::save_checkpoint(const std::string& path) const {
+  persist::CheckpointWriter ckpt;
+
+  persist::BinaryWriter meta;
+  meta.u64(config_fingerprint(config_));
+  meta.u64(iteration_);
+  persist::write_rng_state(meta, rng_.state());
+  meta.u64(env_->state_dim());
+  meta.u64(env_->action_dim());
+  meta.i64(env_->consumer_budget());
+  ckpt.add_section("meta", std::move(meta));
+
+  // The real environment's rng streams survive reset(), so they are part of
+  // the training trajectory. Only MicroserviceSystem exposes them; other
+  // Envs (tests) checkpoint without an env section.
+  if (const auto* system =
+          dynamic_cast<const sim::MicroserviceSystem*>(env_)) {
+    const sim::MicroserviceSystem::RngSnapshot snapshot =
+        system->rng_snapshot();
+    persist::BinaryWriter env;
+    persist::write_rng_state(env, snapshot.system);
+    persist::write_rng_state(env, snapshot.workload);
+    ckpt.add_section("env", std::move(env));
+  }
+
+  persist::BinaryWriter dataset;
+  dataset_.save_state(dataset);
+  ckpt.add_section("dataset", std::move(dataset));
+
+  persist::BinaryWriter model;
+  model_.save_state(model);
+  ckpt.add_section("model", std::move(model));
+
+  persist::BinaryWriter refiner;
+  refiner_.save_state(refiner);
+  ckpt.add_section("refiner", std::move(refiner));
+
+  persist::BinaryWriter ddpg;
+  agent_.save_state(ddpg);
+  ckpt.add_section("ddpg", std::move(ddpg));
+
+  ckpt.write_file(path);
+}
+
+void MirasAgent::restore_checkpoint(const std::string& path) {
+  const persist::CheckpointReader ckpt = persist::CheckpointReader::open(path);
+
+  persist::BinaryReader meta = ckpt.section("meta");
+  const std::uint64_t fingerprint = meta.u64();
+  if (fingerprint != config_fingerprint(config_))
+    throw std::runtime_error(
+        "checkpoint: config fingerprint mismatch — '" + path +
+        "' was written by a run with a different MirasConfig; resuming "
+        "under a changed config would break the bit-identity contract");
+  const std::uint64_t iteration = meta.u64();
+  const RngState rng_state = persist::read_rng_state(meta);
+  const std::uint64_t state_dim = meta.u64();
+  const std::uint64_t action_dim = meta.u64();
+  const std::int64_t budget = meta.i64();
+  meta.expect_end();
+  if (state_dim != env_->state_dim() || action_dim != env_->action_dim() ||
+      budget != env_->consumer_budget())
+    throw std::runtime_error(
+        "checkpoint: environment mismatch — '" + path + "' was written for " +
+        std::to_string(state_dim) + " states / " + std::to_string(action_dim) +
+        " actions / budget " + std::to_string(budget) +
+        ", but this agent's environment differs");
+
+  auto* system = dynamic_cast<sim::MicroserviceSystem*>(env_);
+  if (system != nullptr && !ckpt.has_section("env"))
+    throw std::runtime_error(
+        "checkpoint: '" + path +
+        "' has no env section but the environment is a MicroserviceSystem "
+        "whose rng streams must be restored");
+  std::optional<sim::MicroserviceSystem::RngSnapshot> env_snapshot;
+  if (system != nullptr) {
+    persist::BinaryReader env = ckpt.section("env");
+    sim::MicroserviceSystem::RngSnapshot snapshot;
+    snapshot.system = persist::read_rng_state(env);
+    snapshot.workload = persist::read_rng_state(env);
+    env.expect_end();
+    env_snapshot = snapshot;
+  }
+
+  // All validation that can fail happened above or happens inside the
+  // sectioned restore_state calls *before* any partial mutation of that
+  // component; a throw from here on still aborts the restore as a whole, so
+  // callers must treat a failed restore as fatal rather than continuing
+  // with the half-restored agent.
+  persist::BinaryReader dataset = ckpt.section("dataset");
+  dataset_.restore_state(dataset);
+  dataset.expect_end();
+
+  persist::BinaryReader model = ckpt.section("model");
+  model_.restore_state(model);
+  model.expect_end();
+
+  persist::BinaryReader refiner = ckpt.section("refiner");
+  refiner_.restore_state(refiner);
+  refiner.expect_end();
+
+  persist::BinaryReader ddpg = ckpt.section("ddpg");
+  agent_.restore_state(ddpg);
+  ddpg.expect_end();
+
+  iteration_ = static_cast<std::size_t>(iteration);
+  rng_.set_state(rng_state);
+  if (env_snapshot) system->restore_rng_snapshot(*env_snapshot);
+}
+
+MirasAgent MirasAgent::resume(sim::Env* env, MirasConfig config,
+                              const std::string& path) {
+  MirasAgent agent(env, std::move(config));
+  agent.restore_checkpoint(path);
+  return agent;
 }
 
 rl::DdpgAgent train_model_free_ddpg(sim::Env& env,

@@ -81,6 +81,26 @@ class MirasAgent {
   /// `steps` windows from a fresh reset.
   double evaluate_on_real(std::size_t steps);
 
+  /// Writes the full training state — dataset, dynamics model, refiner,
+  /// DDPG agent, iteration counter, every rng stream (including the real
+  /// environment's, when it is a MicroserviceSystem), and a config
+  /// fingerprint — to `path` atomically (write-to-temp + fsync + rename).
+  /// Call at iteration boundaries: a run resumed from the file continues
+  /// bit-identically to one that never stopped.
+  void save_checkpoint(const std::string& path) const;
+
+  /// Restores the state written by save_checkpoint(). The agent (and its
+  /// env) must have been built from the same config as the saved run —
+  /// enforced via the config fingerprint. Works in sequential or parallel
+  /// mode; resume with the same mode as the original run for bit-identity.
+  void restore_checkpoint(const std::string& path);
+
+  /// Convenience: builds an agent for (env, config) and restores `path`
+  /// into it. Call enable_parallel_collection() afterwards if the original
+  /// run used it.
+  static MirasAgent resume(sim::Env* env, MirasConfig config,
+                           const std::string& path);
+
  private:
   /// Episode-level behaviour used for exploration and data collection.
   enum class Behavior { kPolicy, kRandom, kDemo };

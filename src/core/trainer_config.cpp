@@ -1,5 +1,8 @@
 #include "core/trainer_config.h"
 
+#include "persist/binary_io.h"
+#include "persist/crc32.h"
+
 namespace miras::core {
 
 MirasConfig miras_msd_config() {
@@ -69,6 +72,70 @@ MirasConfig miras_ligo_fast_config() {
   config.eval_steps = 40;
   config.collection_burst_max = 120;
   return config;
+}
+
+std::uint64_t config_fingerprint(const MirasConfig& config) {
+  persist::BinaryWriter out;
+  out.vec_u64({config.model.hidden_dims.begin(), config.model.hidden_dims.end()});
+  out.f64(config.model.learning_rate);
+  out.u64(config.model.batch_size);
+  out.u64(config.model.epochs);
+  out.boolean(config.model.predict_delta);
+  out.f64(config.model.grad_clip);
+  out.u64(config.model.seed);
+
+  out.f64(config.refiner.percentile_p);
+  out.u64(config.refiner.seed);
+
+  const rl::DdpgConfig& d = config.ddpg;
+  out.vec_u64({d.actor_hidden.begin(), d.actor_hidden.end()});
+  out.vec_u64({d.critic_hidden.begin(), d.critic_hidden.end()});
+  out.f64(d.actor_learning_rate);
+  out.f64(d.critic_learning_rate);
+  out.f64(d.actor_final_layer_scale);
+  out.f64(d.actor_entropy_coef);
+  out.f64(d.actor_logit_decay);
+  out.f64(d.gamma);
+  out.u64(d.n_step);
+  out.boolean(d.twin_critics);
+  out.f64(d.target_policy_smoothing);
+  out.u64(d.policy_delay);
+  out.f64(d.tau);
+  out.u64(d.batch_size);
+  out.u64(d.replay_capacity);
+  out.u64(d.warmup);
+  out.f64(d.grad_clip);
+  out.u64(static_cast<std::uint64_t>(d.exploration));
+  out.f64(d.parameter_noise_initial);
+  out.f64(d.parameter_noise_target_distance);
+  out.f64(d.action_noise_stddev);
+  out.f64(d.epsilon_random);
+  out.f64(d.epsilon_demo);
+  out.boolean(d.log_state_features);
+  out.u64(static_cast<std::uint64_t>(d.rounding));
+  out.i64(d.min_consumers_per_type);
+  out.u64(d.seed);
+
+  out.u64(config.outer_iterations);
+  out.u64(config.real_steps_per_iteration);
+  out.u64(config.reset_interval);
+  out.u64(config.rollout_length);
+  out.u64(config.synthetic_rollouts_per_iteration);
+  out.u64(config.updates_per_synthetic_step);
+  out.u64(config.eval_steps);
+  out.f64(config.reward_scale);
+  out.boolean(config.random_first_iteration);
+  out.f64(config.random_episode_fraction);
+  out.f64(config.demo_episode_fraction);
+  out.boolean(config.use_refiner);
+  out.u64(config.rollout_batch);
+  out.u64(config.lockstep_width);
+  out.f64(config.collection_burst_probability);
+  out.u64(config.collection_burst_max);
+  out.u64(config.seed);
+
+  const std::vector<std::uint8_t>& bytes = out.bytes();
+  return persist::fnv1a64(bytes.data(), bytes.size());
 }
 
 }  // namespace miras::core

@@ -112,4 +112,10 @@ MirasConfig miras_ligo_config();
 MirasConfig miras_msd_fast_config();
 MirasConfig miras_ligo_fast_config();
 
+/// FNV-1a hash over every field of `config` (in declaration order, via the
+/// persist little-endian encoding). Stored in checkpoints and verified on
+/// resume: continuing a run under a different configuration would silently
+/// break the bit-identity contract, so it is an error instead.
+std::uint64_t config_fingerprint(const MirasConfig& config);
+
 }  // namespace miras::core

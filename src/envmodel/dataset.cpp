@@ -1,6 +1,8 @@
 #include "envmodel/dataset.h"
 
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/contracts.h"
@@ -50,6 +52,45 @@ std::pair<TransitionDataset, TransitionDataset> TransitionDataset::split_tail(
   for (std::size_t i = 0; i < transitions_.size(); ++i)
     (i < split ? train : test).add(transitions_[i]);
   return {std::move(train), std::move(test)};
+}
+
+void TransitionDataset::save_state(persist::BinaryWriter& out) const {
+  out.u64(state_dim_);
+  out.u64(action_dim_);
+  out.u64(transitions_.size());
+  for (const Transition& t : transitions_) {
+    out.vec_f64(t.state);
+    out.vec_i32(t.action);
+    out.vec_f64(t.next_state);
+    out.f64(t.reward);
+  }
+}
+
+void TransitionDataset::restore_state(persist::BinaryReader& in) {
+  const std::uint64_t state_dim = in.u64();
+  const std::uint64_t action_dim = in.u64();
+  if (state_dim != state_dim_ || action_dim != action_dim_)
+    throw std::runtime_error(
+        "checkpoint: dataset dimension mismatch (saved " +
+        std::to_string(state_dim) + "x" + std::to_string(action_dim) +
+        ", expected " + std::to_string(state_dim_) + "x" +
+        std::to_string(action_dim_) + ")");
+  const std::uint64_t count = in.u64();
+  transitions_.clear();
+  transitions_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Transition t;
+    t.state = in.vec_f64();
+    t.action = in.vec_i32();
+    t.next_state = in.vec_f64();
+    t.reward = in.f64();
+    if (t.state.size() != state_dim_ || t.action.size() != action_dim_ ||
+        t.next_state.size() != state_dim_)
+      throw std::runtime_error("checkpoint: dataset transition " +
+                               std::to_string(i) +
+                               " has mismatched dimensions — corrupted");
+    transitions_.push_back(std::move(t));
+  }
 }
 
 }  // namespace miras::envmodel

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "persist/binary_io.h"
 
 namespace miras::envmodel {
 
@@ -41,6 +42,11 @@ class TransitionDataset {
   /// §VI-B uses 100 test points); returns {train, test} views by copy.
   std::pair<TransitionDataset, TransitionDataset> split_tail(
       std::size_t count) const;
+
+  /// Snapshot/restore of the collected transitions for crash-resume; the
+  /// dataset must have been constructed with the same dimensions (checked).
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
 
  private:
   std::size_t state_dim_;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/contracts.h"
 #include "common/stats.h"
 #include "nn/loss.h"
+#include "nn/serialize.h"
+#include "persist/checkpoint.h"
 
 namespace miras::envmodel {
 
@@ -207,6 +211,38 @@ void DynamicsModel::predict_batch(const nn::Tensor& states,
 
 double DynamicsModel::reward_of(const std::vector<double>& next_state) {
   return 1.0 - sum_of(next_state);
+}
+
+void DynamicsModel::save_state(persist::BinaryWriter& out) const {
+  out.u64(state_dim_);
+  out.u64(action_dim_);
+  persist::write_rng_state(out, rng_.state());
+  nn::write_network(out, network_);
+  optimizer_.save_state(out);
+  out.vec_f64(input_norm_.mean);
+  out.vec_f64(input_norm_.stddev);
+  out.vec_f64(output_norm_.mean);
+  out.vec_f64(output_norm_.stddev);
+  out.boolean(fitted_);
+}
+
+void DynamicsModel::restore_state(persist::BinaryReader& in) {
+  const std::uint64_t state_dim = in.u64();
+  const std::uint64_t action_dim = in.u64();
+  if (state_dim != state_dim_ || action_dim != action_dim_)
+    throw std::runtime_error(
+        "checkpoint: dynamics model dimension mismatch (saved " +
+        std::to_string(state_dim) + "x" + std::to_string(action_dim) +
+        ", expected " + std::to_string(state_dim_) + "x" +
+        std::to_string(action_dim_) + ")");
+  rng_.set_state(persist::read_rng_state(in));
+  network_ = nn::read_network(in);
+  optimizer_.restore_state(in);
+  input_norm_.mean = in.vec_f64();
+  input_norm_.stddev = in.vec_f64();
+  output_norm_.mean = in.vec_f64();
+  output_norm_.stddev = in.vec_f64();
+  fitted_ = in.boolean();
 }
 
 }  // namespace miras::envmodel

@@ -78,6 +78,12 @@ class DynamicsModel {
   bool is_fitted() const { return fitted_; }
   const nn::Network& network() const { return network_; }
 
+  /// Snapshot/restore of the fitted state — network parameters, optimiser
+  /// moments, frozen normalisers, rng stream, fitted flag — for crash-resume.
+  /// The model must have been constructed with the same dims (checked).
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
+
  private:
   struct Normalizer {
     std::vector<double> mean;

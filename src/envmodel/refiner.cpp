@@ -4,6 +4,7 @@
 
 #include "common/contracts.h"
 #include "common/stats.h"
+#include "persist/checkpoint.h"
 
 namespace miras::envmodel {
 
@@ -104,6 +105,20 @@ void ModelRefiner::predict_batch(const nn::Tensor& states,
   for (std::size_t r = 0; r < b; ++r)
     for (std::size_t j = 0; j < model_->state_dim(); ++j)
       next_states(r, j) = std::max(next_states(r, j), 0.0);
+}
+
+void ModelRefiner::save_state(persist::BinaryWriter& out) const {
+  persist::write_rng_state(out, rng_.state());
+  out.vec_f64(tau_);
+  out.vec_f64(omega_);
+  out.boolean(fitted_);
+}
+
+void ModelRefiner::restore_state(persist::BinaryReader& in) {
+  rng_.set_state(persist::read_rng_state(in));
+  tau_ = in.vec_f64();
+  omega_ = in.vec_f64();
+  fitted_ = in.boolean();
 }
 
 }  // namespace miras::envmodel

@@ -65,6 +65,11 @@ class ModelRefiner {
   /// the lend draws deterministic per shard instead of per call order.
   void reseed(std::uint64_t seed) { rng_ = Rng(seed); }
 
+  /// Snapshot/restore of the fitted thresholds and rng stream for
+  /// crash-resume (the wrapped model is checkpointed separately).
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
+
  private:
   const DynamicsModel* model_;
   RefinerConfig config_;

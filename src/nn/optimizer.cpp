@@ -82,6 +82,51 @@ void AdamOptimizer::step(std::vector<DenseLayer>& layers) {
   }
 }
 
+namespace {
+void write_tensor_state(persist::BinaryWriter& out,
+                        const std::vector<Tensor>& tensors) {
+  out.u64(tensors.size());
+  for (const Tensor& t : tensors) {
+    out.u64(t.rows());
+    out.u64(t.cols());
+    for (std::size_t i = 0; i < t.size(); ++i) out.f64(t.data()[i]);
+  }
+}
+
+std::vector<Tensor> read_tensor_state(persist::BinaryReader& in) {
+  const std::uint64_t count = in.u64();
+  std::vector<Tensor> tensors;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t rows = in.u64();
+    const std::uint64_t cols = in.u64();
+    if (rows != 0 && cols > in.remaining() / 8 / rows)
+      throw std::runtime_error(
+          "persist: optimizer moment shape exceeds remaining data in " +
+          in.context());
+    Tensor t(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+    for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = in.f64();
+    tensors.push_back(std::move(t));
+  }
+  return tensors;
+}
+}  // namespace
+
+void AdamOptimizer::save_state(persist::BinaryWriter& out) const {
+  out.u64(t_);
+  write_tensor_state(out, weight_m_);
+  write_tensor_state(out, weight_v_);
+  write_tensor_state(out, bias_m_);
+  write_tensor_state(out, bias_v_);
+}
+
+void AdamOptimizer::restore_state(persist::BinaryReader& in) {
+  t_ = in.u64();
+  weight_m_ = read_tensor_state(in);
+  weight_v_ = read_tensor_state(in);
+  bias_m_ = read_tensor_state(in);
+  bias_v_ = read_tensor_state(in);
+}
+
 void AdamOptimizer::reset() {
   weight_m_.clear();
   weight_v_.clear();

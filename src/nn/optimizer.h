@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "persist/binary_io.h"
 
 namespace miras::nn {
 
@@ -43,6 +44,13 @@ class AdamOptimizer final : public Optimizer {
                          double beta2 = 0.999, double epsilon = 1e-8);
   void step(std::vector<DenseLayer>& layers) override;
   void reset() override;
+
+  /// Snapshot/restore of the mutable optimiser state (step counter and
+  /// first/second moments) for crash-resume. Hyperparameters are construction
+  /// arguments and are NOT serialised — pair a restored state with an
+  /// optimiser built from the same config.
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
 
  private:
   double learning_rate_;

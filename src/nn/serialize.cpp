@@ -1,35 +1,30 @@
 #include "nn/serialize.h"
 
-#include <iomanip>
+#include <cstring>
 #include <istream>
-#include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "common/logging.h"
+#include "persist/crc32.h"
 
 namespace miras::nn {
 
 namespace {
 
-constexpr const char* kNetworkMagic = "miras-network-v1";
-constexpr const char* kCriticMagic = "miras-critic-v1";
+// Binary single-network container: magic, format version, payload length,
+// payload (the write_layers encoding), payload CRC-32.
+constexpr char kNetworkMagic[8] = {'M', 'I', 'R', 'A', 'S', 'N', 'E', 'T'};
+constexpr char kCriticMagic[8] = {'M', 'I', 'R', 'A', 'S', 'C', 'R', 'T'};
+constexpr std::uint32_t kNetworkFormatVersion = 1;
 
-void write_layers(const std::vector<DenseLayer>& layers, std::ostream& out) {
-  out << layers.size() << '\n';
-  out << std::setprecision(std::numeric_limits<double>::max_digits10);
-  for (const auto& layer : layers) {
-    out << layer.in_dim() << ' ' << layer.out_dim() << ' '
-        << activation_name(layer.activation()) << '\n';
-    const Tensor& w = layer.weights();
-    for (std::size_t i = 0; i < w.size(); ++i)
-      out << w.data()[i] << (i + 1 == w.size() ? '\n' : ' ');
-    const Tensor& b = layer.bias();
-    for (std::size_t i = 0; i < b.size(); ++i)
-      out << b.data()[i] << (i + 1 == b.size() ? '\n' : ' ');
-  }
-}
+// Legacy text magics (load-only; removal scheduled for the next release).
+constexpr const char* kNetworkTextMagic = "miras-network-v1";
+constexpr const char* kCriticTextMagic = "miras-critic-v1";
 
-std::vector<DenseLayer> read_layers(std::istream& in) {
+std::vector<DenseLayer> read_text_layers(std::istream& in) {
   std::size_t num_layers = 0;
   if (!(in >> num_layers) || num_layers == 0)
     throw std::runtime_error("serialize: bad layer count");
@@ -51,36 +46,192 @@ std::vector<DenseLayer> read_layers(std::istream& in) {
     layers.emplace_back(std::move(weights), std::move(bias),
                         activation_from_name(act_name));
   }
+  // The legacy reader used to stop here and silently ignore whatever
+  // followed; any further token is now an error.
+  std::string trailing;
+  if (in >> trailing)
+    throw std::runtime_error(
+        "serialize: trailing garbage after network payload ('" + trailing +
+        "...') — refusing to ignore it");
   return layers;
 }
 
-void expect_magic(std::istream& in, const char* magic) {
+std::string read_all(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+void write_binary_container(const char magic[8],
+                            persist::BinaryWriter payload,
+                            std::ostream& out) {
+  const std::vector<std::uint8_t> body = payload.take();
+  persist::BinaryWriter container;
+  container.raw(magic, 8);
+  container.u32(kNetworkFormatVersion);
+  container.u64(body.size());
+  container.raw(body.data(), body.size());
+  container.u32(persist::crc32_of(body.data(), body.size()));
+  const std::vector<std::uint8_t>& bytes = container.bytes();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+// Validates the container framing and returns a reader over the payload.
+// `contents` must outlive the returned reader.
+persist::BinaryReader open_binary_container(const char magic[8],
+                                            const std::string& contents,
+                                            const char* what) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(contents.data());
+  persist::BinaryReader header(data + 8, contents.size() - 8,
+                               std::string(what) + " header");
+  const std::uint32_t version = header.u32();
+  if (version > kNetworkFormatVersion)
+    throw std::runtime_error(
+        "serialize: " + std::string(what) + " format version " +
+        std::to_string(version) + " is newer than this build supports (max " +
+        std::to_string(kNetworkFormatVersion) + ")");
+  const std::uint64_t payload_size = header.u64();
+  const std::size_t payload_offset = 8 + header.position();
+  if (payload_size > contents.size() - payload_offset)
+    throw std::runtime_error("serialize: truncated " + std::string(what) +
+                             " — payload extends past end of data");
+  const std::size_t crc_offset =
+      payload_offset + static_cast<std::size_t>(payload_size);
+  persist::BinaryReader crc_reader(data + crc_offset,
+                                   contents.size() - crc_offset,
+                                   std::string(what) + " checksum");
+  const std::uint32_t expected_crc = crc_reader.u32();
+  if (crc_reader.remaining() != 0)
+    throw std::runtime_error("serialize: trailing garbage after " +
+                             std::string(what) +
+                             " payload — refusing to ignore it");
+  const std::uint32_t actual_crc = persist::crc32_of(
+      data + payload_offset, static_cast<std::size_t>(payload_size));
+  if (actual_crc != expected_crc)
+    throw std::runtime_error("serialize: CRC mismatch in " +
+                             std::string(what) + " — data is corrupted");
+  return persist::BinaryReader(data + payload_offset,
+                               static_cast<std::size_t>(payload_size),
+                               std::string(what) + " payload");
+}
+
+bool has_magic(const std::string& contents, const char magic[8]) {
+  return contents.size() >= 8 && std::memcmp(contents.data(), magic, 8) == 0;
+}
+
+std::vector<DenseLayer> load_layers_any_format(std::istream& in,
+                                               const char binary_magic[8],
+                                               const char* text_magic,
+                                               const char* what) {
+  const std::string contents = read_all(in);
+  if (has_magic(contents, binary_magic)) {
+    persist::BinaryReader payload =
+        open_binary_container(binary_magic, contents, what);
+    std::vector<DenseLayer> layers = read_layers(payload);
+    payload.expect_end();
+    return layers;
+  }
+  // Legacy text fallback (deprecated): accepted for one more release so
+  // existing saved models keep loading; re-save to migrate.
+  std::istringstream text(contents);
   std::string token;
-  if (!(in >> token) || token != magic)
-    throw std::runtime_error(std::string("serialize: expected ") + magic +
-                             ", got '" + token + "'");
+  if ((text >> token) && token == text_magic) {
+    log_warn("serialize: loading deprecated text-format ", what,
+             "; re-save to migrate to the binary format (text loading will "
+             "be removed next release)");
+    return read_text_layers(text);
+  }
+  throw std::runtime_error(std::string("serialize: expected a binary ") +
+                           what + " container or '" + text_magic +
+                           "', got '" + token + "'");
 }
 
 }  // namespace
 
-void save_network(const Network& net, std::ostream& out) {
-  out << kNetworkMagic << '\n';
-  write_layers(net.layers(), out);
+void write_tensor(persist::BinaryWriter& out, const Tensor& tensor) {
+  out.u64(tensor.rows());
+  out.u64(tensor.cols());
+  for (std::size_t i = 0; i < tensor.size(); ++i) out.f64(tensor.data()[i]);
 }
 
-Network load_network(std::istream& in) {
-  expect_magic(in, kNetworkMagic);
+Tensor read_tensor(persist::BinaryReader& in) {
+  const std::uint64_t rows = in.u64();
+  const std::uint64_t cols = in.u64();
+  if (rows != 0 && cols > in.remaining() / 8 / rows)
+    throw std::runtime_error("persist: tensor shape " + std::to_string(rows) +
+                             "x" + std::to_string(cols) + " in " +
+                             in.context() +
+                             " exceeds remaining data — corrupted");
+  Tensor tensor(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  for (std::size_t i = 0; i < tensor.size(); ++i) tensor.data()[i] = in.f64();
+  return tensor;
+}
+
+void write_layers(persist::BinaryWriter& out,
+                  const std::vector<DenseLayer>& layers) {
+  out.u64(layers.size());
+  for (const DenseLayer& layer : layers) {
+    out.str(activation_name(layer.activation()));
+    write_tensor(out, layer.weights());
+    write_tensor(out, layer.bias());
+  }
+}
+
+std::vector<DenseLayer> read_layers(persist::BinaryReader& in) {
+  const std::uint64_t num_layers = in.u64();
+  if (num_layers == 0)
+    throw std::runtime_error("serialize: bad layer count in " + in.context());
+  std::vector<DenseLayer> layers;
+  for (std::uint64_t l = 0; l < num_layers; ++l) {
+    const Activation activation = activation_from_name(in.str());
+    Tensor weights = read_tensor(in);
+    Tensor bias = read_tensor(in);
+    if (weights.rows() == 0 || weights.cols() == 0 ||
+        bias.rows() != 1 || bias.cols() != weights.cols())
+      throw std::runtime_error("serialize: bad layer shape in " +
+                               in.context());
+    layers.emplace_back(std::move(weights), std::move(bias), activation);
+  }
+  return layers;
+}
+
+void write_network(persist::BinaryWriter& out, const Network& net) {
+  write_layers(out, net.layers());
+}
+
+Network read_network(persist::BinaryReader& in) {
   return Network(read_layers(in));
 }
 
+void write_critic(persist::BinaryWriter& out, const CriticNetwork& net) {
+  write_layers(out, net.layers());
+}
+
+CriticNetwork read_critic(persist::BinaryReader& in) {
+  return CriticNetwork(read_layers(in));
+}
+
+void save_network(const Network& net, std::ostream& out) {
+  persist::BinaryWriter payload;
+  write_network(payload, net);
+  write_binary_container(kNetworkMagic, std::move(payload), out);
+}
+
+Network load_network(std::istream& in) {
+  return Network(load_layers_any_format(in, kNetworkMagic, kNetworkTextMagic,
+                                        "network"));
+}
+
 void save_critic(const CriticNetwork& net, std::ostream& out) {
-  out << kCriticMagic << '\n';
-  write_layers(net.layers(), out);
+  persist::BinaryWriter payload;
+  write_critic(payload, net);
+  write_binary_container(kCriticMagic, std::move(payload), out);
 }
 
 CriticNetwork load_critic(std::istream& in) {
-  expect_magic(in, kCriticMagic);
-  return CriticNetwork(read_layers(in));
+  return CriticNetwork(load_layers_any_format(in, kCriticMagic,
+                                              kCriticTextMagic, "critic"));
 }
 
 }  // namespace miras::nn

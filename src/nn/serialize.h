@@ -1,19 +1,47 @@
-// Text (de)serialisation of networks, so trained policies and dynamics
-// models can be checkpointed and reloaded across processes. The format is a
-// simple self-describing token stream with full double precision.
+// (De)serialisation of networks on the miras::persist binary container
+// primitives, so trained policies and dynamics models can be checkpointed
+// and reloaded across processes bit-identically.
+//
+// Two layers of API:
+//  - BinaryWriter/BinaryReader helpers (write_tensor .. read_critic): the
+//    building blocks the checkpoint subsystem composes into full training-
+//    state snapshots.
+//  - Stream-facing save_network/load_network (and critic variants): a
+//    self-contained single-network file — 8-byte magic, format version,
+//    CRC-32-guarded payload. load_* also still accepts the pre-persist
+//    text format ("miras-network-v1"/"miras-critic-v1"); that path is
+//    DEPRECATED, warns via log_warn, and will be removed next release.
+//    Both paths reject trailing garbage instead of silently ignoring it.
 #pragma once
 
 #include <iosfwd>
 
 #include "nn/critic_network.h"
 #include "nn/network.h"
+#include "persist/binary_io.h"
 
 namespace miras::nn {
 
+void write_tensor(persist::BinaryWriter& out, const Tensor& tensor);
+Tensor read_tensor(persist::BinaryReader& in);
+
+void write_layers(persist::BinaryWriter& out,
+                  const std::vector<DenseLayer>& layers);
+std::vector<DenseLayer> read_layers(persist::BinaryReader& in);
+
+void write_network(persist::BinaryWriter& out, const Network& net);
+Network read_network(persist::BinaryReader& in);
+
+void write_critic(persist::BinaryWriter& out, const CriticNetwork& net);
+CriticNetwork read_critic(persist::BinaryReader& in);
+
+/// Writes the binary single-network container to `out`.
 void save_network(const Network& net, std::ostream& out);
 
-/// Reconstructs a Network saved with save_network(). Throws
-/// std::runtime_error on malformed input.
+/// Reconstructs a Network saved with save_network(). Accepts the current
+/// binary format and (deprecated, with a warning) the legacy text format.
+/// Throws std::runtime_error on malformed input, CRC mismatch, an
+/// unsupported future version, or trailing garbage after the payload.
 Network load_network(std::istream& in);
 
 void save_critic(const CriticNetwork& net, std::ostream& out);

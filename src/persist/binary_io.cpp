@@ -1,0 +1,141 @@
+#include "persist/binary_io.h"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace miras::persist {
+
+void BinaryWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void BinaryWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::str(std::string_view s) {
+  if (s.size() > std::numeric_limits<std::uint32_t>::max())
+    throw std::runtime_error("persist: string too long to serialize");
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void BinaryWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (const double x : v) f64(x);
+}
+
+void BinaryWriter::vec_u64(const std::vector<std::uint64_t>& v) {
+  u64(v.size());
+  for (const std::uint64_t x : v) u64(x);
+}
+
+void BinaryWriter::vec_i32(const std::vector<int>& v) {
+  u64(v.size());
+  for (const int x : v) u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(x)));
+}
+
+void BinaryWriter::raw(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + size);
+}
+
+BinaryReader::BinaryReader(const std::uint8_t* data, std::size_t size,
+                           std::string context)
+    : data_(data), size_(size), context_(std::move(context)) {}
+
+const std::uint8_t* BinaryReader::need(std::size_t count) {
+  if (count > size_ - pos_)
+    throw std::runtime_error("persist: read past end of " + context_ +
+                             " (wanted " + std::to_string(count) +
+                             " bytes, have " + std::to_string(size_ - pos_) +
+                             ") — truncated or corrupted data");
+  const std::uint8_t* at = data_ + pos_;
+  pos_ += count;
+  return at;
+}
+
+std::uint8_t BinaryReader::u8() { return *need(1); }
+
+std::uint32_t BinaryReader::u32() {
+  const std::uint8_t* p = need(4);
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t BinaryReader::u64() {
+  const std::uint8_t* p = need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double BinaryReader::f64() { return std::bit_cast<double>(u64()); }
+
+bool BinaryReader::boolean() {
+  const std::uint8_t v = u8();
+  if (v > 1)
+    throw std::runtime_error("persist: malformed boolean in " + context_);
+  return v == 1;
+}
+
+std::string BinaryReader::str() {
+  const std::uint32_t length = u32();
+  const std::uint8_t* p = need(length);
+  return std::string(reinterpret_cast<const char*>(p), length);
+}
+
+namespace {
+// Sequence lengths are validated against the bytes actually remaining, so a
+// corrupted length cannot drive a multi-gigabyte allocation before the
+// bounds check would fire element by element.
+std::size_t checked_count(std::uint64_t count, std::size_t element_size,
+                          std::size_t remaining, const std::string& context) {
+  if (count > remaining / element_size)
+    throw std::runtime_error("persist: sequence length " +
+                             std::to_string(count) + " in " + context +
+                             " exceeds remaining data — truncated or "
+                             "corrupted data");
+  return static_cast<std::size_t>(count);
+}
+}  // namespace
+
+std::vector<double> BinaryReader::vec_f64() {
+  const std::size_t count = checked_count(u64(), 8, remaining(), context_);
+  std::vector<double> v(count);
+  for (double& x : v) x = f64();
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::vec_u64() {
+  const std::size_t count = checked_count(u64(), 8, remaining(), context_);
+  std::vector<std::uint64_t> v(count);
+  for (std::uint64_t& x : v) x = u64();
+  return v;
+}
+
+std::vector<int> BinaryReader::vec_i32() {
+  const std::size_t count = checked_count(u64(), 8, remaining(), context_);
+  std::vector<int> v(count);
+  for (int& x : v) x = static_cast<int>(static_cast<std::int64_t>(u64()));
+  return v;
+}
+
+void BinaryReader::expect_end() const {
+  if (pos_ != size_)
+    throw std::runtime_error("persist: " + std::to_string(size_ - pos_) +
+                             " trailing bytes after " + context_ +
+                             " — refusing to ignore them");
+}
+
+}  // namespace miras::persist

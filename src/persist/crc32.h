@@ -1,0 +1,63 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum that
+// guards every checkpoint section against bit rot and torn writes. Table-
+// driven and incremental: crc32_update() lets callers checksum streamed
+// chunks; crc32_of() is the one-shot form. The table is built once at
+// first use (constant-initialised function-local static).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace miras::persist {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Folds `size` bytes into a running CRC. Start from crc32_init(), finish
+/// with crc32_final() — the split form mirrors zlib's interface so chunked
+/// and one-shot checksums agree exactly.
+inline std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc;
+}
+
+inline std::uint32_t crc32_final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+/// One-shot CRC-32 of a byte range.
+inline std::uint32_t crc32_of(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+/// FNV-1a 64-bit hash; used for configuration fingerprints (a checkpoint
+/// refuses to restore into an agent built from a different config).
+inline std::uint64_t fnv1a64(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace miras::persist

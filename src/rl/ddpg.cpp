@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "common/contracts.h"
 #include "nn/loss.h"
+#include "nn/serialize.h"
+#include "persist/checkpoint.h"
 
 namespace miras::rl {
 
@@ -479,6 +483,115 @@ void DdpgAgent::resample_exploration() {
 double DdpgAgent::q_value(const std::vector<double>& state,
                           const std::vector<double>& action) const {
   return critic_.predict_one(normalize_state(state), action);
+}
+
+void DdpgAgent::save_state(persist::BinaryWriter& out) const {
+  // Identity of the agent this state belongs to; validated on restore so a
+  // checkpoint can never be silently restored into a mismatched agent.
+  out.u64(state_dim_);
+  out.u64(action_dim_);
+  out.i64(consumer_budget_);
+  out.boolean(config_.twin_critics);
+
+  persist::write_rng_state(out, rng_.state());
+
+  nn::write_network(out, actor_);
+  nn::write_network(out, actor_target_);
+  nn::write_network(out, perturbed_actor_);
+  nn::write_critic(out, critic_);
+  nn::write_critic(out, critic_target_);
+  if (config_.twin_critics) {
+    nn::write_critic(out, critic2_);
+    nn::write_critic(out, critic2_target_);
+  }
+
+  actor_optimizer_.save_state(out);
+  critic_optimizer_.save_state(out);
+  if (config_.twin_critics) critic2_optimizer_.save_state(out);
+
+  replay_.save_state(out);
+
+  out.u64(pending_.size());
+  for (const Experience& e : pending_) write_experience(out, e);
+
+  out.f64(parameter_noise_.stddev());
+
+  out.u64(state_stats_.size());
+  for (const RunningStats& s : state_stats_) {
+    out.u64(s.count());
+    out.f64(s.mean());
+    out.f64(s.m2());
+    out.f64(s.min());
+    out.f64(s.max());
+  }
+
+  out.f64(min_reward_seen_);
+  out.f64(max_reward_seen_);
+  out.boolean(any_reward_seen_);
+  out.u64(updates_performed_);
+  out.u64(constraint_violations_);
+}
+
+void DdpgAgent::restore_state(persist::BinaryReader& in) {
+  const std::uint64_t state_dim = in.u64();
+  const std::uint64_t action_dim = in.u64();
+  const std::int64_t budget = in.i64();
+  const bool twin = in.boolean();
+  if (state_dim != state_dim_ || action_dim != action_dim_ ||
+      budget != consumer_budget_ || twin != config_.twin_critics)
+    throw std::runtime_error(
+        "checkpoint: DDPG agent shape mismatch — saved (state_dim=" +
+        std::to_string(state_dim) + ", action_dim=" +
+        std::to_string(action_dim) + ", budget=" + std::to_string(budget) +
+        ", twin_critics=" + (twin ? "true" : "false") +
+        ") does not match this agent's configuration");
+
+  rng_.set_state(persist::read_rng_state(in));
+
+  actor_ = nn::read_network(in);
+  actor_target_ = nn::read_network(in);
+  perturbed_actor_ = nn::read_network(in);
+  critic_ = nn::read_critic(in);
+  critic_target_ = nn::read_critic(in);
+  if (config_.twin_critics) {
+    critic2_ = nn::read_critic(in);
+    critic2_target_ = nn::read_critic(in);
+  }
+
+  actor_optimizer_.restore_state(in);
+  critic_optimizer_.restore_state(in);
+  if (config_.twin_critics) critic2_optimizer_.restore_state(in);
+
+  replay_.restore_state(in);
+
+  const std::uint64_t pending_count = in.u64();
+  pending_.clear();
+  for (std::uint64_t i = 0; i < pending_count; ++i)
+    pending_.push_back(read_experience(in));
+
+  parameter_noise_.set_stddev(in.f64());
+
+  const std::uint64_t stats_count = in.u64();
+  if (stats_count != state_stats_.size())
+    throw std::runtime_error(
+        "checkpoint: state normaliser dimension mismatch (saved " +
+        std::to_string(stats_count) + ", expected " +
+        std::to_string(state_stats_.size()) + ")");
+  for (RunningStats& s : state_stats_) {
+    const std::uint64_t count = in.u64();
+    const double mean = in.f64();
+    const double m2 = in.f64();
+    const double min = in.f64();
+    const double max = in.f64();
+    s = RunningStats::from_moments(static_cast<std::size_t>(count), mean, m2,
+                                   min, max);
+  }
+
+  min_reward_seen_ = in.f64();
+  max_reward_seen_ = in.f64();
+  any_reward_seen_ = in.boolean();
+  updates_performed_ = in.u64();
+  constraint_violations_ = in.u64();
 }
 
 }  // namespace miras::rl

@@ -229,6 +229,22 @@ class DdpgAgent {
   std::size_t updates_performed() const { return updates_performed_; }
   double parameter_noise_stddev() const { return parameter_noise_.stddev(); }
 
+  /// Transitions still inside the n-step maturation window. At every episode
+  /// boundary (after end_episode() / resample_exploration()) this is zero —
+  /// the checkpoint contract check relies on that, though save_state()
+  /// serialises the window anyway so mid-episode snapshots also restore
+  /// faithfully.
+  std::size_t pending_transitions() const { return pending_.size(); }
+
+  /// Snapshot/restore of every mutable learning quantity — networks, target
+  /// networks, optimiser moments, replay contents, n-step window, noise
+  /// adapter sigma, normaliser statistics, reward bounds, counters, and the
+  /// rng stream — for bit-identical crash-resume. The agent must have been
+  /// constructed with the same dims/budget/config as the one saved (checked
+  /// on restore).
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
+
   /// Would this raw (possibly noise-perturbed) weight vector map to a
   /// budget-violating allocation if consumed verbatim (without the
   /// normalisation that allocation_from_weights applies)? Used by the

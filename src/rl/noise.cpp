@@ -50,6 +50,11 @@ AdaptiveParameterNoise::AdaptiveParameterNoise(double initial_stddev,
   MIRAS_EXPECTS(adaptation > 1.0);
 }
 
+void AdaptiveParameterNoise::set_stddev(double stddev) {
+  MIRAS_EXPECTS(stddev > 0.0);
+  stddev_ = stddev;
+}
+
 void AdaptiveParameterNoise::adapt(double measured_distance) {
   MIRAS_EXPECTS(measured_distance >= 0.0);
   if (measured_distance > target_distance_) {

@@ -66,6 +66,10 @@ class AdaptiveParameterNoise {
   /// and perturbed policies.
   void adapt(double measured_distance);
 
+  /// Restores a previously observed sigma (checkpoint resume). Must be
+  /// positive.
+  void set_stddev(double stddev);
+
  private:
   double stddev_;
   double target_distance_;

@@ -1,5 +1,8 @@
 #include "rl/replay_buffer.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/contracts.h"
 
 namespace miras::rl {
@@ -40,6 +43,48 @@ const Experience& ReplayBuffer::operator[](std::size_t i) const {
 void ReplayBuffer::clear() {
   storage_.clear();
   write_index_ = 0;
+}
+
+void write_experience(persist::BinaryWriter& out, const Experience& e) {
+  out.vec_f64(e.state);
+  out.vec_f64(e.action);
+  out.f64(e.reward);
+  out.vec_f64(e.next_state);
+  out.f64(e.discount);
+}
+
+Experience read_experience(persist::BinaryReader& in) {
+  Experience e;
+  e.state = in.vec_f64();
+  e.action = in.vec_f64();
+  e.reward = in.f64();
+  e.next_state = in.vec_f64();
+  e.discount = in.f64();
+  return e;
+}
+
+void ReplayBuffer::save_state(persist::BinaryWriter& out) const {
+  out.u64(capacity_);
+  out.u64(write_index_);
+  out.u64(storage_.size());
+  for (const Experience& e : storage_) write_experience(out, e);
+}
+
+void ReplayBuffer::restore_state(persist::BinaryReader& in) {
+  const std::uint64_t capacity = in.u64();
+  if (capacity != capacity_)
+    throw std::runtime_error(
+        "checkpoint: replay buffer capacity mismatch (saved " +
+        std::to_string(capacity) + ", configured " +
+        std::to_string(capacity_) + ")");
+  write_index_ = static_cast<std::size_t>(in.u64());
+  const std::uint64_t size = in.u64();
+  if (size > capacity_ || write_index_ >= capacity_)
+    throw std::runtime_error("checkpoint: replay buffer state out of range");
+  storage_.clear();
+  storage_.reserve(static_cast<std::size_t>(size));
+  for (std::uint64_t i = 0; i < size; ++i)
+    storage_.push_back(read_experience(in));
 }
 
 }  // namespace miras::rl

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "persist/binary_io.h"
 
 namespace miras::rl {
 
@@ -45,10 +46,21 @@ class ReplayBuffer {
 
   void clear();
 
+  /// Snapshot/restore of the full buffer (contents and write cursor) for
+  /// crash-resume; restoring requires the capacities to match, so the
+  /// eviction schedule continues identically.
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
+
  private:
   std::size_t capacity_;
   std::size_t write_index_ = 0;
   std::vector<Experience> storage_;
 };
+
+/// Experience encoding shared by the replay buffer and the DDPG agent's
+/// pending n-step window.
+void write_experience(persist::BinaryWriter& out, const Experience& e);
+Experience read_experience(persist::BinaryReader& in);
 
 }  // namespace miras::rl

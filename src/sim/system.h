@@ -70,6 +70,25 @@ class MicroserviceSystem final : public Env {
   /// conservation checks: tasks_enqueued == tasks_completed + live_tasks().
   std::uint64_t live_tasks() const;
 
+  /// The two rng streams that survive reset(): service-time draws (rng_)
+  /// and the workload's arrival gaps. reset() deliberately does NOT reseed
+  /// them — episodes explore fresh randomness — so checkpoint resume must
+  /// capture their positions to reproduce the post-resume trajectory.
+  /// Event-queue contents are NOT part of this snapshot: checkpoints are
+  /// taken at iteration boundaries, where the next operation is a reset()
+  /// that rebuilds the queue from scratch.
+  struct RngSnapshot {
+    RngState system;
+    RngState workload;
+  };
+  RngSnapshot rng_snapshot() const {
+    return {rng_.state(), workload_.rng_state()};
+  }
+  void restore_rng_snapshot(const RngSnapshot& snapshot) {
+    rng_.set_state(snapshot.system);
+    workload_.set_rng_state(snapshot.workload);
+  }
+
  private:
   void schedule_next_arrival(std::size_t workflow_type);
   void handle_arrival(std::size_t workflow_type, bool from_steady_stream);

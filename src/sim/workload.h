@@ -35,6 +35,11 @@ class WorkloadSource {
   /// Next inter-arrival gap (seconds) for the type. Requires has_stream().
   SimTime next_gap(std::size_t workflow_type);
 
+  /// Arrival-stream rng position — the only mutable state this class has.
+  /// Exposed so checkpoint resume can continue the exact gap sequence.
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& state) { rng_.set_state(state); }
+
  private:
   std::vector<double> rates_;
   Rng rng_;

@@ -1,0 +1,250 @@
+// The headline invariant of miras::persist: a seeded K-iteration training
+// run is bit-identical to a J-iteration run, checkpointed, torn down, and
+// resumed in a "fresh process" (all-new objects) for the remaining K-J
+// iterations. Verified on both ensembles, sequentially and on an 8-thread
+// pool, and across lockstep widths — plus the mid-window contract and the
+// mismatch guards.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/miras_agent.h"
+#include "persist/checkpoint.h"
+#include "sim/system.h"
+#include "workflows/ligo.h"
+#include "workflows/msd.h"
+
+namespace miras::core {
+namespace {
+
+constexpr std::uint64_t kSystemSeed = 33;
+
+sim::MicroserviceSystem make_system(const std::string& dataset) {
+  sim::SystemConfig config;
+  config.seed = kSystemSeed;
+  if (dataset == "msd") {
+    config.consumer_budget = workflows::kMsdConsumerBudget;
+    return sim::MicroserviceSystem(workflows::make_msd_ensemble(), config);
+  }
+  config.consumer_budget = workflows::kLigoConsumerBudget;
+  return sim::MicroserviceSystem(workflows::make_ligo_ensemble(), config);
+}
+
+MirasAgent::EnvFactory make_factory(const std::string& dataset) {
+  const int budget = dataset == "msd" ? workflows::kMsdConsumerBudget
+                                      : workflows::kLigoConsumerBudget;
+  return [dataset, budget](std::uint64_t seed) -> std::unique_ptr<sim::Env> {
+    sim::SystemConfig config;
+    config.consumer_budget = budget;
+    config.seed = seed;
+    return std::make_unique<sim::MicroserviceSystem>(
+        dataset == "msd" ? workflows::make_msd_ensemble()
+                         : workflows::make_ligo_ensemble(),
+        config);
+  };
+}
+
+MirasConfig tiny_config(const std::string& dataset,
+                        std::size_t lockstep_width = 0) {
+  MirasConfig config;
+  config.model.hidden_dims = {12, 12};
+  config.model.epochs = 8;
+  config.ddpg.actor_hidden = {24, 24};
+  config.ddpg.critic_hidden = {24, 24};
+  config.ddpg.batch_size = 16;
+  config.ddpg.warmup = 16;
+  config.outer_iterations = 4;
+  config.real_steps_per_iteration = 40;
+  config.reset_interval = 20;
+  config.rollout_length = dataset == "msd" ? 8 : 6;
+  config.synthetic_rollouts_per_iteration = 8;
+  config.rollout_batch = 4;
+  if (lockstep_width != 0) config.lockstep_width = lockstep_width;
+  config.eval_steps = 6;
+  config.seed = dataset == "msd" ? 5 : 9;
+  return config;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "miras_resume_" + name;
+}
+
+void expect_traces_identical(const std::vector<IterationTrace>& resumed,
+                             const std::vector<IterationTrace>& full) {
+  ASSERT_EQ(resumed.size(), full.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(resumed[i].iteration, full[i].iteration);
+    EXPECT_EQ(resumed[i].dataset_size, full[i].dataset_size);
+    // EXPECT_EQ, not NEAR: the invariant is bit-identity, not tolerance.
+    EXPECT_EQ(resumed[i].model_train_loss, full[i].model_train_loss)
+        << "iteration " << i + 1;
+    EXPECT_EQ(resumed[i].eval_aggregate_reward, full[i].eval_aggregate_reward)
+        << "iteration " << i + 1;
+    EXPECT_EQ(resumed[i].parameter_noise_stddev,
+              full[i].parameter_noise_stddev)
+        << "iteration " << i + 1;
+  }
+}
+
+/// Runs the interrupted-and-resumed variant of a K-iteration run and checks
+/// it against `full_traces`/`full_agent` from the uninterrupted run. The
+/// teardown between save and resume is real: the first system and agent are
+/// destroyed before the resumed ones exist.
+void check_resume(const std::string& dataset, const MirasConfig& config,
+                  common::ThreadPool* pool, bool parallel,
+                  const std::vector<IterationTrace>& full_traces,
+                  const std::vector<double>& full_actor_params,
+                  const std::string& path) {
+  const std::size_t total = config.outer_iterations;
+  const std::size_t first_leg = total / 2;
+
+  std::vector<IterationTrace> combined;
+  {
+    sim::MicroserviceSystem system = make_system(dataset);
+    MirasAgent agent(&system, config);
+    if (parallel) agent.enable_parallel_collection(pool, make_factory(dataset));
+    for (std::size_t i = 0; i < first_leg; ++i)
+      combined.push_back(agent.run_iteration());
+    agent.save_checkpoint(path);
+  }  // everything from the first leg is gone now
+
+  sim::MicroserviceSystem system = make_system(dataset);
+  MirasAgent agent = MirasAgent::resume(&system, config, path);
+  if (parallel) agent.enable_parallel_collection(pool, make_factory(dataset));
+  EXPECT_EQ(agent.iterations_run(), first_leg);
+  for (std::size_t i = first_leg; i < total; ++i)
+    combined.push_back(agent.run_iteration());
+
+  expect_traces_identical(combined, full_traces);
+  EXPECT_EQ(agent.ddpg().actor().get_parameters(), full_actor_params);
+  std::remove(path.c_str());
+}
+
+void run_bit_identity_case(const std::string& dataset, bool parallel,
+                           std::size_t lockstep_width = 0) {
+  const MirasConfig config = tiny_config(dataset, lockstep_width);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (parallel) pool = std::make_unique<common::ThreadPool>(8);
+
+  sim::MicroserviceSystem full_system = make_system(dataset);
+  MirasAgent full_agent(&full_system, config);
+  if (parallel)
+    full_agent.enable_parallel_collection(pool.get(), make_factory(dataset));
+  std::vector<IterationTrace> full_traces;
+  for (std::size_t i = 0; i < config.outer_iterations; ++i)
+    full_traces.push_back(full_agent.run_iteration());
+
+  check_resume(dataset, config, pool.get(), parallel, full_traces,
+               full_agent.ddpg().actor().get_parameters(),
+               temp_path(dataset + (parallel ? "_par" : "_seq") + ".ckpt"));
+}
+
+TEST(CheckpointResume, MsdSequentialRunResumesBitIdentically) {
+  run_bit_identity_case("msd", /*parallel=*/false);
+}
+
+TEST(CheckpointResume, LigoSequentialRunResumesBitIdentically) {
+  run_bit_identity_case("ligo", /*parallel=*/false);
+}
+
+TEST(CheckpointResume, MsdEightThreadRunResumesBitIdentically) {
+  run_bit_identity_case("msd", /*parallel=*/true);
+}
+
+TEST(CheckpointResume, LigoEightThreadRunResumesBitIdentically) {
+  run_bit_identity_case("ligo", /*parallel=*/true);
+}
+
+TEST(CheckpointResume, HoldsAcrossLockstepWidths) {
+  // Resume bit-identity must survive any lockstep width (the widths already
+  // produce identical trajectories; a checkpoint must not break that).
+  run_bit_identity_case("msd", /*parallel=*/true, /*lockstep_width=*/2);
+  run_bit_identity_case("msd", /*parallel=*/true, /*lockstep_width=*/5);
+}
+
+TEST(CheckpointResume, PendingWindowIsEmptyAtIterationBoundaries) {
+  // The n-step maturation window is transient mid-episode state; every
+  // episode boundary flushes it, so at the iteration boundary — the only
+  // place checkpoints are taken — it must be empty. (save_state serialises
+  // it regardless, so even a mid-window snapshot would restore faithfully.)
+  sim::MicroserviceSystem system = make_system("msd");
+  MirasAgent agent(&system, tiny_config("msd"));
+  for (int i = 0; i < 2; ++i) {
+    (void)agent.run_iteration();
+    EXPECT_EQ(agent.ddpg().pending_transitions(), 0u);
+  }
+}
+
+TEST(CheckpointResume, MidWindowPendingStateRoundtrips) {
+  // Directly exercise the DDPG snapshot with a NON-empty pending window to
+  // prove the "included in snapshot" half of the contract.
+  rl::DdpgConfig config;
+  config.actor_hidden = {8, 8};
+  config.critic_hidden = {8, 8};
+  config.n_step = 5;
+  rl::DdpgAgent a(4, 4, 14, config);
+  const std::vector<double> state{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> action{0.25, 0.25, 0.25, 0.25};
+  for (int i = 0; i < 3; ++i) a.observe(state, action, 0.5, state);
+  ASSERT_GT(a.pending_transitions(), 0u);
+
+  persist::BinaryWriter out;
+  a.save_state(out);
+  rl::DdpgAgent b(4, 4, 14, config);
+  persist::BinaryReader in(out.bytes().data(), out.size(), "ddpg");
+  b.restore_state(in);
+  in.expect_end();
+  EXPECT_EQ(b.pending_transitions(), a.pending_transitions());
+  EXPECT_EQ(b.replay_size(), a.replay_size());
+  EXPECT_EQ(b.actor().get_parameters(), a.actor().get_parameters());
+}
+
+TEST(CheckpointResume, ConfigFingerprintMismatchIsRejected) {
+  const std::string path = temp_path("fingerprint.ckpt");
+  sim::MicroserviceSystem system = make_system("msd");
+  MirasAgent agent(&system, tiny_config("msd"));
+  (void)agent.run_iteration();
+  agent.save_checkpoint(path);
+
+  MirasConfig other = tiny_config("msd");
+  other.rollout_length += 1;  // any field change must be caught
+  sim::MicroserviceSystem fresh = make_system("msd");
+  MirasAgent restored(&fresh, other);
+  EXPECT_THROW(restored.restore_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, EnvironmentMismatchIsRejected) {
+  const std::string path = temp_path("env_mismatch.ckpt");
+  sim::MicroserviceSystem msd = make_system("msd");
+  MirasAgent agent(&msd, tiny_config("msd"));
+  (void)agent.run_iteration();
+  agent.save_checkpoint(path);
+
+  // Same config, different environment shape (LIGO has 9 task types).
+  sim::MicroserviceSystem ligo = make_system("ligo");
+  MirasAgent restored(&ligo, tiny_config("msd"));
+  EXPECT_THROW(restored.restore_checkpoint(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, CheckpointContainsEveryExpectedSection) {
+  const std::string path = temp_path("sections.ckpt");
+  sim::MicroserviceSystem system = make_system("msd");
+  MirasAgent agent(&system, tiny_config("msd"));
+  (void)agent.run_iteration();
+  agent.save_checkpoint(path);
+
+  const persist::CheckpointReader reader = persist::CheckpointReader::open(path);
+  for (const char* name :
+       {"meta", "env", "dataset", "model", "refiner", "ddpg"})
+    EXPECT_TRUE(reader.has_section(name)) << "missing section " << name;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace miras::core

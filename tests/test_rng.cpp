@@ -198,6 +198,58 @@ TEST(ShardSeed, NeighbouringShardsAndRootsAreDistinct) {
   EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
 }
 
+TEST(RngState, RoundtripReplaysExactStream) {
+  Rng rng(123);
+  for (int i = 0; i < 37; ++i) rng.next_u64();  // advance to mid-stream
+  const RngState saved = rng.state();
+
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 100; ++i) expected.push_back(rng.next_u64());
+
+  Rng other(999);  // entirely different position before restore
+  other.set_state(saved);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(other.next_u64(), expected[i]);
+}
+
+TEST(RngState, CapturesPendingBoxMullerCache) {
+  // normal() produces two values per Box-Muller round and caches the
+  // second; a state captured between the pair must replay the cached value
+  // first, or resumed normal sequences shift by one draw.
+  Rng rng(7);
+  rng.normal();  // leaves the second value cached
+  const RngState saved = rng.state();
+  EXPECT_TRUE(saved.has_cached_normal);
+
+  std::vector<double> expected;
+  for (int i = 0; i < 10; ++i) expected.push_back(rng.normal());
+
+  Rng other;
+  other.set_state(saved);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(other.normal(), expected[i]);
+}
+
+TEST(RngState, StateIsValueSemantics) {
+  Rng rng(55);
+  const RngState saved = rng.state();
+  rng.next_u64();
+  EXPECT_NE(rng.state(), saved);  // advancing changes the captured words
+  rng.set_state(saved);
+  EXPECT_EQ(rng.state(), saved);
+}
+
+TEST(RngState, ShardSeededStreamRestoresIdentically) {
+  // The shard_seed derivation path: a worker's rng captured mid-episode
+  // must resume exactly, independent of the root stream's position.
+  Rng worker(shard_seed(42, 3));
+  for (int i = 0; i < 11; ++i) worker.uniform();
+  const RngState saved = worker.state();
+  const double expected = worker.exponential(0.5);
+
+  Rng resumed(shard_seed(42, 3));
+  resumed.set_state(saved);
+  EXPECT_EQ(resumed.exponential(0.5), expected);
+}
+
 TEST(ShardSeed, DerivedStreamsAreDecorrelated) {
   // Streams seeded from neighbouring shards of the same root must not move
   // in lockstep.

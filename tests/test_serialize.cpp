@@ -2,12 +2,33 @@
 
 #include <gtest/gtest.h>
 
+#include <iomanip>
 #include <sstream>
 
 #include "common/rng.h"
 
 namespace miras::nn {
 namespace {
+
+// Emits the legacy text encoding (the format save_network wrote before the
+// binary container); kept here to prove the deprecated load path still
+// accepts it for one more release.
+std::string legacy_text_encoding(const Network& net) {
+  std::ostringstream out;
+  out << "miras-network-v1\n" << net.num_layers() << "\n";
+  out << std::setprecision(17);
+  for (const DenseLayer& layer : net.layers()) {
+    out << layer.weights().rows() << " " << layer.weights().cols() << " "
+        << activation_name(layer.activation()) << "\n";
+    for (std::size_t i = 0; i < layer.weights().size(); ++i)
+      out << layer.weights().data()[i] << " ";
+    out << "\n";
+    for (std::size_t i = 0; i < layer.bias().size(); ++i)
+      out << layer.bias().data()[i] << " ";
+    out << "\n";
+  }
+  return out.str();
+}
 
 Network make_network() {
   Rng rng(1);
@@ -81,6 +102,60 @@ TEST(Serialize, RejectsTruncatedStream) {
 TEST(Serialize, RejectsEmptyStream) {
   std::stringstream stream;
   EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, SavedFormatIsTheBinaryContainer) {
+  std::stringstream stream;
+  save_network(make_network(), stream);
+  const std::string bytes = stream.str();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "MIRASNET");
+}
+
+TEST(Serialize, LoadsDeprecatedTextFormat) {
+  // Models saved by the previous release keep loading (with a deprecation
+  // warning) so users can re-save to migrate.
+  const Network original = make_network();
+  std::stringstream stream(legacy_text_encoding(original));
+  const Network loaded = load_network(stream);
+  EXPECT_EQ(loaded.num_layers(), original.num_layers());
+  const std::vector<double> x{0.1, -0.7, 2.5, 0.0};
+  EXPECT_EQ(loaded.predict_one(x), original.predict_one(x));
+}
+
+TEST(Serialize, TextFormatRejectsTrailingGarbage) {
+  // The legacy reader used to silently ignore trailing content; that is
+  // now an error.
+  std::stringstream stream(legacy_text_encoding(make_network()) + " 42");
+  EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, BinaryRejectsTrailingGarbage) {
+  std::stringstream stream;
+  save_network(make_network(), stream);
+  stream.clear();
+  stream.seekp(0, std::ios::end);
+  stream << 'x';
+  stream.seekg(0);
+  EXPECT_THROW(load_network(stream), std::runtime_error);
+}
+
+TEST(Serialize, BinaryRejectsFlippedBit) {
+  std::stringstream stream;
+  save_network(make_network(), stream);
+  std::string bytes = stream.str();
+  bytes[bytes.size() / 2] ^= 0x01;  // corrupt the payload; CRC must catch it
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW(load_network(corrupted), std::runtime_error);
+}
+
+TEST(Serialize, BinaryRejectsFutureFormatVersion) {
+  std::stringstream stream;
+  save_network(make_network(), stream);
+  std::string bytes = stream.str();
+  bytes[8] = 99;  // format version u32 little-endian follows the magic
+  std::stringstream future(bytes);
+  EXPECT_THROW(load_network(future), std::runtime_error);
 }
 
 TEST(Serialize, ExtremeValuesSurvive) {
