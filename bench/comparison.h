@@ -48,7 +48,8 @@ inline void run_comparison(const ComparisonSetup& setup,
     sim::SystemConfig config;
     config.consumer_budget = setup.budget;
     config.seed = seed;
-    return sim::MicroserviceSystem(setup.make_ensemble(), config);
+    return std::make_unique<sim::MicroserviceSystem>(setup.make_ensemble(),
+                                                     config);
   };
 
   // --- Train MIRAS (on this thread; its episode collection and synthetic

@@ -1,8 +1,23 @@
 // Microbenchmarks of the discrete-event emulator (google-benchmark):
-// window-step throughput for MSD and LIGO under steady and burst load, and
-// raw event-queue operations.
+// raw event-queue throughput (typed and closure-based), window-step
+// throughput for MSD and LIGO under steady and burst load, reset-reuse
+// cycles, and per-thread episode scaling on pooled systems. Every benchmark
+// reports bytes_per_op; the steady-state event-stepping path must report 0.
+// Pass `--json <path>` to dump {op, ns_per_op, bytes_per_op, iterations}
+// records (the BENCH_sim.json CI artifact).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/object_pool.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "sim/system.h"
 #include "workflows/ligo.h"
 #include "workflows/msd.h"
@@ -10,7 +25,18 @@
 namespace miras {
 namespace {
 
+std::unique_ptr<sim::MicroserviceSystem> make_msd_system(std::uint64_t seed) {
+  sim::SystemConfig config;
+  config.consumer_budget = workflows::kMsdConsumerBudget;
+  config.seed = seed;
+  return std::make_unique<sim::MicroserviceSystem>(
+      workflows::make_msd_ensemble(), config);
+}
+
+// Closure-based queue with a minimal capture (fits the std::function small
+// buffer): isolates the queue-level difference from the typed queue below.
 void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) {
     sim::EventQueue events;
     int counter = 0;
@@ -19,18 +45,160 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
     events.run_until(100.0);
     benchmark::DoNotOptimize(counter);
   }
+  bench::record_bytes_per_op(state, alloc0);
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+// What one completion looked like to the pre-rewrite engine: a value-
+// returned result whose ready-node list lives on the heap.
+struct LegacyCompletion {
+  std::vector<std::size_t> ready_nodes;
+  std::size_t workflow_type = 0;
+  double arrival_time = 0.0;
+  bool workflow_complete = false;
+};
+
+// The pre-rewrite event queue, reproduced verbatim from git history
+// (engine.h/.cpp before the typed-core rewrite): a std::priority_queue of
+// 48-byte entries that own a std::function, drained by *copying* the top
+// entry before pop — for captures past the 16-byte small buffer that is a
+// second allocation per event, on top of the one schedule() makes.
+class LegacyEventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  sim::SimTime now() const { return now_; }
+
+  void schedule(sim::SimTime when, Handler handler) {
+    heap_.push(Entry{when, next_seq_++, std::move(handler)});
+  }
+
+  void run_until(sim::SimTime until) {
+    while (!heap_.empty() && heap_.top().time <= until) {
+      Entry entry = heap_.top();  // the pre-rewrite copy-before-pop
+      heap_.pop();
+      now_ = entry.time;
+      entry.handler();
+    }
+    now_ = until;
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+// The pre-rewrite engine's per-event steady-state pattern, reproduced from
+// git history: try_dispatch scheduled `[this, task_type, request]` (40
+// bytes of capture — off libstdc++'s 16-byte std::function small buffer,
+// so one heap allocation per scheduled event), run_until copied that
+// closure back out on drain (a second), and handle_task_complete looked
+// the instance up in an unordered_map and copied a CompletionResult by
+// value, heap-allocating its ready-node list (a third). This is the
+// reference the typed core's steady-state throughput claim in
+// BENCH_sim.json is measured against; the new path is
+// BM_TypedEventQueueScheduleRun on the identical schedule pattern.
+void BM_LegacyEventDispatch(benchmark::State& state) {
+  LegacyEventQueue events;  // long-lived, like the old engine's member
+  std::uint64_t counter = 0;
+  // The old DependencyService: live instances in an unordered_map, one
+  // hash lookup per completion. ~300 live instances matches the burst
+  // backlogs the steady benches run under.
+  std::unordered_map<std::uint64_t, LegacyCompletion> instances;
+  for (std::uint64_t id = 0; id < 300; ++id) {
+    LegacyCompletion completion;
+    completion.ready_nodes = {3, 5};
+    instances.emplace(id, std::move(completion));
+  }
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    const sim::SimTime base = events.now();
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t instance = static_cast<std::uint64_t>(i) % 300;
+      const std::size_t node = static_cast<std::size_t>(i) & 7;
+      events.schedule(
+          base + static_cast<double>(i % 97),
+          [&counter, &instances, instance, node] {
+            const LegacyCompletion completion =
+                instances.find(instance)->second;
+            counter += completion.ready_nodes.size() + node + instance;
+          });
+    }
+    events.run_until(base + 100.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LegacyEventDispatch);
+
+// Typed queue on the same schedule/run pattern: POD events, no closures.
+// The queue lives across iterations (heap capacity reused), like the one
+// inside MicroserviceSystem.
+void BM_TypedEventQueueScheduleRun(benchmark::State& state) {
+  sim::TypedEventQueue events;
+  std::uint64_t counter = 0;
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    const sim::SimTime base = events.now();
+    sim::Event event;
+    event.type = sim::EventType::kConsumerReady;
+    for (int i = 0; i < 1000; ++i)
+      events.schedule(base + static_cast<double>(i % 97), event);
+    events.run_until(base + 100.0,
+                     [&counter](sim::Event&&) { ++counter; });
+    benchmark::DoNotOptimize(counter);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TypedEventQueueScheduleRun);
+
+// Steady-state event throughput through the full simulator dispatch path
+// (arrivals, dispatches, completions, DAG routing) with no window
+// accounting: items processed = events executed, and bytes_per_op must be 0
+// — the acceptance criterion for the typed-event core.
+void BM_SimEventThroughput(benchmark::State& state) {
+  auto system = make_msd_system(1);
+  // Warm up: allocate consumers, then push the slab, rings, and heap past
+  // any watermark the steady arrival stream can reach (a 200-per-type
+  // burst), and drain it. After this nothing on the stepping path grows.
+  (void)system->step(std::vector<int>{4, 4, 3, 3});
+  system->inject_burst(sim::BurstSpec{{200, 200, 200}});
+  system->run_for(5000.0);
+  std::uint64_t executed = system->executed_events();
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    system->run_for(100.0);
+    benchmark::DoNotOptimize(system->now());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(system->executed_events() - executed));
+}
+BENCHMARK(BM_SimEventThroughput);
+
 void BM_MsdWindowStep(benchmark::State& state) {
-  sim::SystemConfig config;
-  config.consumer_budget = workflows::kMsdConsumerBudget;
-  config.seed = 1;
-  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
-  system.reset();
+  auto system = make_msd_system(1);
+  system->reset();
   const std::vector<int> allocation{4, 4, 3, 3};
-  for (auto _ : state) benchmark::DoNotOptimize(system.step(allocation));
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) benchmark::DoNotOptimize(system->step(allocation));
+  bench::record_bytes_per_op(state, alloc0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MsdWindowStep);
@@ -42,25 +210,26 @@ void BM_LigoWindowStep(benchmark::State& state) {
   sim::MicroserviceSystem system(workflows::make_ligo_ensemble(), config);
   system.reset();
   const std::vector<int> allocation{4, 3, 4, 3, 3, 3, 4, 3, 3};
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) benchmark::DoNotOptimize(system.step(allocation));
+  bench::record_bytes_per_op(state, alloc0);
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LigoWindowStep);
 
 void BM_MsdBurstDrain(benchmark::State& state) {
-  sim::SystemConfig config;
-  config.consumer_budget = workflows::kMsdConsumerBudget;
-  config.seed = 1;
-  sim::MicroserviceSystem system(workflows::make_msd_ensemble(), config);
+  auto system = make_msd_system(1);
   const std::vector<int> allocation{4, 4, 3, 3};
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) {
     state.PauseTiming();
-    system.reset();
-    system.inject_burst(sim::BurstSpec{{100, 100, 100}});
+    system->reset();
+    system->inject_burst(sim::BurstSpec{{100, 100, 100}});
     state.ResumeTiming();
     for (int k = 0; k < 10; ++k)
-      benchmark::DoNotOptimize(system.step(allocation));
+      benchmark::DoNotOptimize(system->step(allocation));
   }
+  bench::record_bytes_per_op(state, alloc0);
   state.SetItemsProcessed(state.iterations() * 10);
 }
 BENCHMARK(BM_MsdBurstDrain);
@@ -71,14 +240,70 @@ void BM_SystemReset(benchmark::State& state) {
   config.seed = 1;
   sim::MicroserviceSystem system(workflows::make_ligo_ensemble(), config);
   const std::vector<int> allocation(9, 3);
+  const std::uint64_t alloc0 = bench::allocation_mark();
   for (auto _ : state) {
     for (int k = 0; k < 3; ++k) (void)system.step(allocation);
     benchmark::DoNotOptimize(system.reset());
   }
+  bench::record_bytes_per_op(state, alloc0);
 }
 BENCHMARK(BM_SystemReset);
+
+// Reset-reuse cycle on a warmed system: pooled storage (slab, rings, heap,
+// window vectors) keeps its capacity across reset(), so the cycle itself
+// stays off the allocator.
+void BM_ResetReuse(benchmark::State& state) {
+  auto system = make_msd_system(1);
+  (void)system->step(std::vector<int>{4, 4, 3, 3});  // warm the pools
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(system->reset());
+    system->run_for(30.0);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResetReuse);
+
+// Per-thread episode scaling on pooled, reseeded systems — the simulator
+// side of BM_ParallelForEpisodes (bench/micro_parallel.cpp): 16 20-window
+// episodes per iteration, each shard drawing a long-lived system from an
+// ObjectPool. Real time must *drop* as threads are added.
+void BM_PooledEpisodes(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  common::ThreadPool pool(threads);
+  constexpr std::size_t kShards = 16;
+  common::ObjectPool<sim::MicroserviceSystem> systems;
+  const std::vector<int> hold{4, 4, 3, 3};
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    pool.parallel_for(kShards, [&systems, &hold](std::size_t i) {
+      std::unique_ptr<sim::MicroserviceSystem> system = systems.try_acquire();
+      if (system != nullptr) {
+        system->reseed(shard_seed(7, i));
+      } else {
+        system = make_msd_system(shard_seed(7, i));
+      }
+      std::vector<double> wip = system->reset();
+      for (int step = 0; step < 20; ++step) wip = system->step(hold).state;
+      benchmark::DoNotOptimize(wip.data());
+      systems.release(std::move(system));
+    });
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kShards));
+}
+BENCHMARK(BM_PooledEpisodes)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace miras
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return miras::bench::run_benchmarks(argc, argv);
+}

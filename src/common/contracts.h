@@ -6,6 +6,14 @@
 #include <stdexcept>
 #include <string>
 
+// Gate for invariant checks that sit on hot paths (e.g. the event queue's
+// pending/executed-counter consistency check). On by default; compile with
+// -DMIRAS_CONTRACTS=0 to strip them from a measurement build. Preconditions
+// guarding API misuse (MIRAS_EXPECTS) stay unconditional.
+#ifndef MIRAS_CONTRACTS
+#define MIRAS_CONTRACTS 1
+#endif
+
 namespace miras {
 
 /// Thrown when a precondition, postcondition, or invariant check fails.

@@ -1,0 +1,78 @@
+// Mutex-guarded free-list of heavyweight reusable objects. The parallel
+// layers keep one long-lived environment per worker shard here instead of
+// constructing a fresh one per grid cell / episode — per-task construction
+// was the allocation hot spot behind the 1-to-4-thread scaling regression
+// (every shard rebuilt ensembles, slabs, and queues under the global
+// allocator lock).
+//
+// The pool holds *idle* objects only: acquire removes the object from the
+// pool, so the caller owns it exclusively and no synchronisation is needed
+// while using it. Determinism is unaffected because the objects handed out
+// are reseeded/reset to a pure function of the shard seed before use — which
+// object a shard gets is irrelevant, only the seed matters.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace miras::common {
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+
+  // Movable so owners (e.g. MirasAgent) stay movable. Moving is only safe
+  // while no worker is touching either pool — true at the call sites, which
+  // move agents around before any parallel section starts.
+  ObjectPool(ObjectPool&& other) noexcept : idle_(other.take()) {}
+  ObjectPool& operator=(ObjectPool&& other) noexcept {
+    if (this != &other) {
+      std::vector<std::unique_ptr<T>> stolen = other.take();
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle_ = std::move(stolen);
+    }
+    return *this;
+  }
+
+  /// Pops an idle object, or returns nullptr when the pool is empty (the
+  /// caller then constructs one and release()s it when done).
+  std::unique_ptr<T> try_acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (idle_.empty()) return nullptr;
+    std::unique_ptr<T> object = std::move(idle_.back());
+    idle_.pop_back();
+    return object;
+  }
+
+  /// Returns an object to the pool for reuse. Null pointers are ignored.
+  void release(std::unique_ptr<T> object) {
+    if (object == nullptr) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(object));
+  }
+
+  /// Destroys all idle objects (e.g. when the factory changes).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.clear();
+  }
+
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> take() noexcept {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(idle_);
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> idle_;
+};
+
+}  // namespace miras::common

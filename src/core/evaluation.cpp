@@ -94,12 +94,22 @@ GridResult EvaluationHarness::run(const std::vector<PolicySpec>& policies,
     cell.policy_index = policy_index;
     cell.replication = replication;
     cell.system_seed = seeds[replication];
-    sim::MicroserviceSystem system = make_system_(cell.system_seed);
+    // Reuse an idle system when one exists (reseed ≡ fresh construction);
+    // per-cell construction was the allocation hot spot of the grid.
+    std::unique_ptr<sim::MicroserviceSystem> system =
+        spare_systems_.try_acquire();
+    if (system != nullptr) {
+      system->reseed(cell.system_seed);
+    } else {
+      system = make_system_(cell.system_seed);
+      MIRAS_EXPECTS(system != nullptr);
+    }
     const std::unique_ptr<rl::Policy> policy = policies[policy_index].make();
     MIRAS_EXPECTS(policy != nullptr);
     cell.trace =
-        run_scenario(system, *policy, scenarios[scenario_index].config);
+        run_scenario(*system, *policy, scenarios[scenario_index].config);
     cell.trace.policy_name = policies[policy_index].label;
+    spare_systems_.release(std::move(system));
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(result.cells.size(), run_cell);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "rl/policy.h"
@@ -110,8 +111,12 @@ struct GridResult {
 
 class EvaluationHarness {
  public:
+  /// Builds the evaluation system for a given master seed. The factory must
+  /// be pure in the seed: every system it returns is identical up to
+  /// SystemConfig::seed. The harness relies on this to recycle systems
+  /// across grid cells via reseed() instead of constructing one per cell.
   using SystemFactory =
-      std::function<sim::MicroserviceSystem(std::uint64_t seed)>;
+      std::function<std::unique_ptr<sim::MicroserviceSystem>(std::uint64_t)>;
 
   /// `make_system` builds the evaluation system for a given seed; `pool`
   /// (optional, must outlive the harness) runs the grid cells. Without a
@@ -132,6 +137,10 @@ class EvaluationHarness {
  private:
   SystemFactory make_system_;
   common::ThreadPool* pool_;
+  /// Idle systems recycled across cells (and across run() calls). At most
+  /// one per concurrent worker ever exists; reseed() makes which cell gets
+  /// which object irrelevant, so results stay bit-identical.
+  mutable common::ObjectPool<sim::MicroserviceSystem> spare_systems_;
 };
 
 }  // namespace miras::core

@@ -48,6 +48,9 @@ void MirasAgent::enable_parallel_collection(common::ThreadPool* pool,
   MIRAS_EXPECTS(make_env != nullptr);
   pool_ = pool;
   env_factory_ = std::move(make_env);
+  // Environments pooled under the previous factory may not match the new
+  // one; drop them so every reused env descends from this factory.
+  env_pool_.clear();
 }
 
 void MirasAgent::for_each_shard(
@@ -164,7 +167,11 @@ MirasAgent::CollectedEpisode MirasAgent::run_collection_episode(
   // fixed draw order, so the episode is a pure function of its spec.
   Rng ep_rng(spec.seed);
   const std::uint64_t env_seed = ep_rng.next_u64();
-  const std::unique_ptr<sim::Env> env = env_factory_(env_seed);
+  // Recycle a pooled environment when it supports in-place reseeding
+  // (reseed ≡ fresh construction with env_seed); otherwise build one.
+  // Per-episode construction caused allocator contention across shards.
+  std::unique_ptr<sim::Env> env = env_pool_.try_acquire();
+  if (env == nullptr || !env->reseed(env_seed)) env = env_factory_(env_seed);
   MIRAS_EXPECTS(env != nullptr);
 
   std::vector<double> state = env->reset();
@@ -188,6 +195,7 @@ MirasAgent::CollectedEpisode MirasAgent::run_collection_episode(
     state = result.state;
   }
   if (snapshot) episode.constraint_violations = snapshot->constraint_violations();
+  env_pool_.release(std::move(env));
   return episode;
 }
 

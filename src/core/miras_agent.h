@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/object_pool.h"
 #include "common/thread_pool.h"
 #include "core/trainer_config.h"
 #include "envmodel/dataset.h"
@@ -40,7 +41,10 @@ class MirasAgent {
  public:
   /// Builds an isolated environment for one collection episode; the seed is
   /// the episode's shard seed, so the episode's arrivals are a function of
-  /// the decomposition, not of any shared stream.
+  /// the decomposition, not of any shared stream. The factory must be pure
+  /// in the seed (the seed enters only as the environment's master seed):
+  /// the agent recycles environments across episodes via Env::reseed(),
+  /// which is only equivalent to construction under that contract.
   using EnvFactory = std::function<std::unique_ptr<sim::Env>(std::uint64_t)>;
 
   /// `env` must outlive the agent.
@@ -162,6 +166,9 @@ class MirasAgent {
   std::size_t iteration_ = 0;
   common::ThreadPool* pool_ = nullptr;
   EnvFactory env_factory_;
+  /// Idle collection environments recycled across episodes (at most one per
+  /// concurrent shard); reseed() makes the recycling invisible to results.
+  common::ObjectPool<sim::Env> env_pool_;
 };
 
 /// The paper's model-free comparator: the same DDPG agent trained directly

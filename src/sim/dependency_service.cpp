@@ -1,58 +1,109 @@
 #include "sim/dependency_service.h"
 
+#include <algorithm>
+
 #include "common/contracts.h"
 
 namespace miras::sim {
 
+namespace {
+constexpr std::uint32_t slot_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr std::uint32_t generation_of(std::uint64_t id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+}  // namespace
+
 DependencyService::DependencyService(const workflows::Ensemble* ensemble)
     : ensemble_(ensemble) {
   MIRAS_EXPECTS(ensemble != nullptr);
+  roots_.reserve(ensemble_->num_workflows());
+  preds_template_.reserve(ensemble_->num_workflows());
+  for (std::size_t w = 0; w < ensemble_->num_workflows(); ++w) {
+    const auto& graph = ensemble_->workflow(w);
+    roots_.push_back(graph.roots());
+    std::vector<std::size_t> preds(graph.num_nodes());
+    for (std::size_t n = 0; n < graph.num_nodes(); ++n)
+      preds[n] = graph.in_degree(n);
+    preds_template_.push_back(std::move(preds));
+  }
 }
 
 DependencyService::NewInstance DependencyService::create_instance(
     std::size_t workflow_type, SimTime arrival_time) {
   MIRAS_EXPECTS(workflow_type < ensemble_->num_workflows());
-  const auto& graph = ensemble_->workflow(workflow_type);
 
-  Instance instance;
-  instance.workflow_type = workflow_type;
-  instance.arrival_time = arrival_time;
-  instance.remaining_nodes = graph.num_nodes();
-  instance.remaining_preds.resize(graph.num_nodes());
-  for (std::size_t n = 0; n < graph.num_nodes(); ++n)
-    instance.remaining_preds[n] = graph.in_degree(n);
+  std::size_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    index = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  ++slot.generation;  // a recycled slot's new id never matches the old one
+  slot.live = true;
+  slot.workflow_type = workflow_type;
+  slot.arrival_time = arrival_time;
+  const auto& preds = preds_template_[workflow_type];
+  slot.remaining_preds.assign(preds.begin(), preds.end());
+  slot.remaining_nodes = preds.size();
+  ++live_;
 
   NewInstance result;
-  result.id = next_id_++;
-  result.initial_nodes = graph.roots();
-  instances_.emplace(result.id, std::move(instance));
+  result.id = (static_cast<std::uint64_t>(slot.generation) << 32) | index;
+  result.initial_nodes = &roots_[workflow_type];
   return result;
 }
 
-DependencyService::CompletionResult DependencyService::on_task_complete(
-    std::uint64_t id, std::size_t node) {
-  const auto it = instances_.find(id);
-  MIRAS_EXPECTS(it != instances_.end());
-  Instance& instance = it->second;
-  const auto& graph = ensemble_->workflow(instance.workflow_type);
-  MIRAS_EXPECTS(node < graph.num_nodes());
-  MIRAS_EXPECTS(instance.remaining_nodes > 0);
+DependencyService::Slot& DependencyService::lookup(std::uint64_t id) {
+  const std::uint32_t index = slot_of(id);
+  MIRAS_EXPECTS(index < slots_.size());
+  Slot& slot = slots_[index];
+  MIRAS_EXPECTS(slot.live && slot.generation == generation_of(id));
+  return slot;
+}
 
-  CompletionResult result;
-  result.workflow_type = instance.workflow_type;
-  result.arrival_time = instance.arrival_time;
+const DependencyService::CompletionResult& DependencyService::on_task_complete(
+    std::uint64_t id, std::size_t node) {
+  Slot& slot = lookup(id);
+  const auto& graph = ensemble_->workflow(slot.workflow_type);
+  MIRAS_EXPECTS(node < graph.num_nodes());
+  MIRAS_EXPECTS(slot.remaining_nodes > 0);
+
+  result_.ready_nodes.clear();
+  result_.workflow_complete = false;
+  result_.workflow_type = slot.workflow_type;
+  result_.arrival_time = slot.arrival_time;
 
   for (const std::size_t succ : graph.successors(node)) {
-    MIRAS_ASSERT(instance.remaining_preds[succ] > 0);
-    if (--instance.remaining_preds[succ] == 0)
-      result.ready_nodes.push_back(succ);
+    MIRAS_ASSERT(slot.remaining_preds[succ] > 0);
+    if (--slot.remaining_preds[succ] == 0)
+      result_.ready_nodes.push_back(succ);
   }
 
-  if (--instance.remaining_nodes == 0) {
-    result.workflow_complete = true;
-    instances_.erase(it);
+  if (--slot.remaining_nodes == 0) {
+    result_.workflow_complete = true;
+    slot.live = false;
+    free_.push_back(slot_of(id));
+    --live_;
   }
-  return result;
+  return result_;
+}
+
+void DependencyService::clear() {
+  for (Slot& slot : slots_) {
+    slot.live = false;
+    slot.generation = 0;
+  }
+  // Descending free list: pop_back hands out 0, 1, 2, ... — the same slot
+  // (and therefore id) sequence as a freshly constructed service.
+  free_.resize(slots_.size());
+  for (std::size_t i = 0; i < free_.size(); ++i)
+    free_[i] = free_.size() - 1 - i;
+  live_ = 0;
 }
 
 }  // namespace miras::sim

@@ -1,38 +1,11 @@
 #include "sim/engine.h"
 
-#include <utility>
-
-#include "common/contracts.h"
+// Both queue flavours are header-only templates over EventHeap; this TU
+// exists to compile the header standalone and anchor the library target.
 
 namespace miras::sim {
 
-void EventQueue::schedule(SimTime when, Handler handler) {
-  MIRAS_EXPECTS(when >= now_);
-  heap_.push(Entry{when, next_seq_++, std::move(handler)});
-}
-
-void EventQueue::schedule_in(SimTime delay, Handler handler) {
-  MIRAS_EXPECTS(delay >= 0.0);
-  schedule(now_ + delay, std::move(handler));
-}
-
-void EventQueue::run_until(SimTime until) {
-  MIRAS_EXPECTS(until >= now_);
-  while (!heap_.empty() && heap_.top().time <= until) {
-    // Copy out before pop: the handler may schedule and thus mutate the heap.
-    Entry entry = heap_.top();
-    heap_.pop();
-    now_ = entry.time;
-    ++executed_;
-    entry.handler();
-  }
-  now_ = until;
-}
-
-void EventQueue::reset() {
-  heap_ = {};
-  now_ = 0.0;
-  // next_seq_/executed_ keep counting; only ordering within a run matters.
-}
+static_assert(sizeof(Event) <= 40, "Event must stay small enough to move "
+                                   "through the heap by value cheaply");
 
 }  // namespace miras::sim

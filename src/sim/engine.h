@@ -1,59 +1,151 @@
-// Discrete-event simulation core: a time-ordered event queue with a
+// Discrete-event simulation core: time-ordered event queues with a
 // monotonically advancing clock. Ties are broken by insertion sequence so
 // runs are fully deterministic.
+//
+// Two queues share the same (time, seq) contract and EventHeap storage:
+//  - TypedEventQueue stores small POD Event values and dispatches them
+//    through a caller-supplied callback (a switch in MicroserviceSystem) —
+//    zero per-event allocations at steady state. The simulator runs on this.
+//  - EventQueue stores std::function handlers; kept for tests and callers
+//    that want arbitrary closures.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
+#include <utility>
+
+#include "common/contracts.h"
+#include "sim/event_heap.h"
 
 namespace miras::sim {
 
 /// Simulated seconds since the last reset.
 using SimTime = double;
 
-class EventQueue {
- public:
-  using Handler = std::function<void()>;
+/// Discriminator for the simulator's typed events. Task dispatch and
+/// container tear-down are instantaneous in this model (§VI-A2 charges a
+/// delay only for start-up), so they happen inline inside the arrival /
+/// completion / consumer-ready handlers and need no heap event of their own.
+enum class EventType : std::uint8_t {
+  kWorkflowArrival,  // target = workflow type; instance/node unused
+  kTaskComplete,     // target = task type, instance = workflow id, node = DAG node
+  kConsumerReady,    // target = task type (container start-up finished)
+  kWindowBoundary,   // no payload; marks the end of a control window
+};
 
+/// One scheduled simulator event, stored by value in the heap. Plain data:
+/// scheduling and draining never touch the allocator.
+struct Event {
+  SimTime time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint64_t instance = 0;
+  std::uint32_t target = 0;
+  std::uint32_t node = 0;
+  EventType type = EventType::kWindowBoundary;
+};
+
+/// Common clock + counter bookkeeping shared by both queue flavours.
+/// `Entry` must carry `.time` and `.seq` (filled in by schedule()).
+template <typename Entry>
+class BasicEventQueue {
+ public:
   SimTime now() const { return now_; }
 
-  /// Schedules `handler` at absolute time `when`; `when` must not precede
-  /// the current clock.
-  void schedule(SimTime when, Handler handler);
+  /// Schedules `entry` at absolute time `when`; `when` must not precede the
+  /// current clock. The entry's time/seq fields are assigned here.
+  void schedule(SimTime when, Entry entry) {
+    MIRAS_EXPECTS(when >= now_);
+    entry.time = when;
+    entry.seq = next_seq_++;
+    ++scheduled_;
+    heap_.push(std::move(entry));
+  }
 
   /// Convenience: schedules at now() + delay (delay >= 0).
-  void schedule_in(SimTime delay, Handler handler);
+  void schedule_in(SimTime delay, Entry entry) {
+    MIRAS_EXPECTS(delay >= 0.0);
+    schedule(now_ + delay, std::move(entry));
+  }
 
-  /// Executes all events with time <= `until` in (time, insertion) order,
-  /// then advances the clock to `until`. Handlers may schedule new events,
-  /// including at the current time.
-  void run_until(SimTime until);
+  /// Executes all events with time <= `until` in (time, insertion) order via
+  /// `dispatch(Entry&&)`, then advances the clock to `until`. Dispatch may
+  /// schedule new events, including at the current time.
+  template <typename Dispatch>
+  void run_until(SimTime until, Dispatch&& dispatch) {
+    MIRAS_EXPECTS(until >= now_);
+    while (!heap_.empty() && heap_.min().time <= until) {
+      // Move out before dispatching: the handler may schedule and thus
+      // mutate the heap.
+      Entry entry = heap_.pop_min();
+      now_ = entry.time;
+      ++executed_;
+      dispatch(std::move(entry));
+    }
+    now_ = until;
+#if MIRAS_CONTRACTS
+    // Every event ever scheduled is either still pending or was executed.
+    MIRAS_ASSERT(executed_ + heap_.size() == scheduled_);
+#endif
+  }
 
-  /// Drops all pending events and rewinds the clock to zero.
-  void reset();
+  /// Drops all pending events and rewinds the clock to zero. Heap capacity
+  /// is kept, so a reset-reuse cycle allocates nothing.
+  void reset() {
+    scheduled_ -= heap_.size();  // dropped events were never executed
+    heap_.clear();
+    now_ = 0.0;
+    // next_seq_/executed_ keep counting; only ordering within a run matters.
+  }
 
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    Handler handler;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t scheduled_ = 0;
+  EventHeap<Entry, 4> heap_;
+};
+
+/// The simulator's queue: POD events, switch-dispatched by the caller.
+class TypedEventQueue : public BasicEventQueue<Event> {};
+
+/// Closure-based queue for callers that need to capture arbitrary state.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  SimTime now() const { return queue_.now(); }
+
+  void schedule(SimTime when, Handler handler) {
+    queue_.schedule(when, Entry{0.0, 0, std::move(handler)});
+  }
+
+  void schedule_in(SimTime delay, Handler handler) {
+    queue_.schedule_in(delay, Entry{0.0, 0, std::move(handler)});
+  }
+
+  /// Executes all events with time <= `until` in (time, insertion) order,
+  /// then advances the clock to `until`. Handlers may schedule new events,
+  /// including at the current time.
+  void run_until(SimTime until) {
+    queue_.run_until(until, [](Entry&& entry) { entry.handler(); });
+  }
+
+  /// Drops all pending events and rewinds the clock to zero.
+  void reset() { queue_.reset(); }
+
+  std::size_t pending_events() const { return queue_.pending_events(); }
+  std::uint64_t executed_events() const { return queue_.executed_events(); }
+
+ private:
+  struct Entry {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    Handler handler;
+  };
+  BasicEventQueue<Entry> queue_;
 };
 
 }  // namespace miras::sim

@@ -35,6 +35,17 @@ class Env {
   /// Returns the system to a low-WIP initial state and returns s(0).
   virtual std::vector<double> reset() = 0;
 
+  /// Rewinds the environment to the state a freshly *constructed* instance
+  /// with master seed `seed` would have — bit-identically, including rng
+  /// stream positions — so pooled environments can be reused across
+  /// episodes in place of factory construction. Returns false when the
+  /// environment does not support in-place reseeding (the caller then falls
+  /// back to constructing a new one).
+  virtual bool reseed(std::uint64_t seed) {
+    (void)seed;
+    return false;
+  }
+
   /// Applies the allocation m(k) for one window and returns the transition.
   /// Requires allocation.size() == action_dim(), all entries >= 0, and
   /// sum <= consumer_budget().

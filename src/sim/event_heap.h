@@ -1,0 +1,84 @@
+// Flat d-ary min-heap keyed on (time, seq), the storage behind both event
+// queues. A 4-ary layout trades slightly more comparisons per level for half
+// the tree depth and 4 children per cache line of entries, which wins for
+// the small POD entries the simulator stores by value.
+//
+// Heap shape cannot affect execution order: (time, seq) keys are unique
+// (seq is a strictly increasing insertion counter), so the sequence of
+// pop_min() calls is a pure function of the inserted set — any arity yields
+// the same event order bit-for-bit. The tie-break property test in
+// tests/test_engine.cpp pins this across arities 2, 3, 4, and 8.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace miras::sim {
+
+/// Entry must expose `.time` and `.seq` members and be default-constructible
+/// and movable. Entries with equal time are ordered by ascending seq.
+template <typename Entry, std::size_t Arity = 4>
+class EventHeap {
+ public:
+  static_assert(Arity >= 2, "a heap needs at least two children per node");
+
+  bool empty() const { return slots_.empty(); }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Smallest entry. Requires !empty().
+  const Entry& min() const { return slots_.front(); }
+
+  void push(Entry entry) {
+    // Hole-based sift-up: bubble the insertion point down from the back,
+    // moving parents into the hole, and write the entry once at the end.
+    std::size_t hole = slots_.size();
+    slots_.emplace_back();
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / Arity;
+      if (!before(entry, slots_[parent])) break;
+      slots_[hole] = std::move(slots_[parent]);
+      hole = parent;
+    }
+    slots_[hole] = std::move(entry);
+  }
+
+  /// Removes and returns the smallest entry. Requires !empty().
+  Entry pop_min() {
+    Entry result = std::move(slots_.front());
+    Entry last = std::move(slots_.back());
+    slots_.pop_back();
+    if (!slots_.empty()) {
+      // Sift the hole down to a leaf-ward position for `last`.
+      std::size_t hole = 0;
+      const std::size_t count = slots_.size();
+      for (;;) {
+        const std::size_t first_child = hole * Arity + 1;
+        if (first_child >= count) break;
+        std::size_t best = first_child;
+        const std::size_t end =
+            first_child + Arity < count ? first_child + Arity : count;
+        for (std::size_t c = first_child + 1; c < end; ++c)
+          if (before(slots_[c], slots_[best])) best = c;
+        if (!before(slots_[best], last)) break;
+        slots_[hole] = std::move(slots_[best]);
+        hole = best;
+      }
+      slots_[hole] = std::move(last);
+    }
+    return result;
+  }
+
+  /// Drops all entries but keeps the backing capacity for reuse.
+  void clear() { slots_.clear(); }
+
+ private:
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::vector<Entry> slots_;
+};
+
+}  // namespace miras::sim

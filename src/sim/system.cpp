@@ -14,6 +14,16 @@ std::vector<double> arrival_rates_of(const workflows::Ensemble& ensemble) {
     rates.push_back(ensemble.arrival_rate(w));
   return rates;
 }
+
+Event make_event(EventType type, std::uint32_t target,
+                 std::uint64_t instance = 0, std::uint32_t node = 0) {
+  Event event;
+  event.type = type;
+  event.target = target;
+  event.instance = instance;
+  event.node = node;
+  return event;
+}
 }  // namespace
 
 MicroserviceSystem::MicroserviceSystem(workflows::Ensemble ensemble,
@@ -63,11 +73,38 @@ std::vector<double> MicroserviceSystem::reset() {
   return observe_wip();
 }
 
+bool MicroserviceSystem::reseed(std::uint64_t seed) {
+  // Replay the constructor's seeding exactly: seed the system rng, hand the
+  // workload the first split — the same draw the member initialiser made —
+  // then reset. A reseeded system and a freshly constructed one are
+  // bit-identical from here on (pinned by ReseedMatchesFreshConstruction).
+  config_.seed = seed;
+  rng_ = Rng(seed);
+  workload_.reseed(rng_.split());
+  reset();
+  return true;
+}
+
+void MicroserviceSystem::dispatch(const Event& event) {
+  switch (event.type) {
+    case EventType::kWorkflowArrival:
+      handle_arrival(event.target, /*from_steady_stream=*/true);
+      break;
+    case EventType::kTaskComplete:
+      handle_task_complete(event.target, event.instance, event.node);
+      break;
+    case EventType::kConsumerReady:
+      handle_consumer_ready(event.target);
+      break;
+    case EventType::kWindowBoundary:
+      break;  // pure clock marker; run_until stops at its timestamp
+  }
+}
+
 void MicroserviceSystem::schedule_next_arrival(std::size_t workflow_type) {
   const SimTime gap = workload_.next_gap(workflow_type);
-  events_.schedule_in(gap, [this, workflow_type] {
-    handle_arrival(workflow_type, /*from_steady_stream=*/true);
-  });
+  events_.schedule_in(gap, make_event(EventType::kWorkflowArrival,
+                                      static_cast<std::uint32_t>(workflow_type)));
 }
 
 void MicroserviceSystem::handle_arrival(std::size_t workflow_type,
@@ -76,7 +113,7 @@ void MicroserviceSystem::handle_arrival(std::size_t workflow_type,
   ++window_arrivals_[workflow_type];
   const auto instance =
       dependency_service_.create_instance(workflow_type, events_.now());
-  for (const std::size_t node : instance.initial_nodes)
+  for (const std::size_t node : *instance.initial_nodes)
     enqueue_task(instance.id, workflow_type, node);
   if (from_steady_stream) schedule_next_arrival(workflow_type);
 }
@@ -107,22 +144,30 @@ void MicroserviceSystem::try_dispatch(std::size_t task_type) {
     pool.on_dispatch();
     const double service_time =
         ensemble_.task_type(task_type).service_time.sample(rng_);
-    events_.schedule_in(service_time, [this, task_type, request] {
-      handle_task_complete(task_type, request);
-    });
+    events_.schedule_in(
+        service_time,
+        make_event(EventType::kTaskComplete,
+                   static_cast<std::uint32_t>(task_type),
+                   request.workflow_instance,
+                   static_cast<std::uint32_t>(request.node)));
   }
 }
 
 void MicroserviceSystem::handle_task_complete(std::size_t task_type,
-                                              TaskRequest request) {
+                                              std::uint64_t instance,
+                                              std::size_t node) {
   ++counters_.tasks_completed;
   ++window_task_completions_[task_type];
   pools_[task_type].on_task_complete();
 
-  const auto completion = dependency_service_.on_task_complete(
-      request.workflow_instance, request.node);
-  for (const std::size_t node : completion.ready_nodes)
-    enqueue_task(request.workflow_instance, completion.workflow_type, node);
+  // The completion result is reused storage owned by the dependency
+  // service; it stays valid until the next on_task_complete call, and
+  // enqueue_task below never completes a task (completions go through the
+  // event queue), so iterating ready_nodes while enqueuing is safe.
+  const auto& completion =
+      dependency_service_.on_task_complete(instance, node);
+  for (const std::size_t ready : completion.ready_nodes)
+    enqueue_task(instance, completion.workflow_type, ready);
   if (completion.workflow_complete) {
     ++counters_.workflows_completed;
     ++window_completed_[completion.workflow_type];
@@ -150,9 +195,16 @@ void MicroserviceSystem::apply_allocation(const std::vector<int>& allocation) {
     for (int i = 0; i < startups; ++i) {
       const double delay =
           rng_.uniform(config_.startup_delay_min, config_.startup_delay_max);
-      events_.schedule_in(delay, [this, j] { handle_consumer_ready(j); });
+      events_.schedule_in(delay, make_event(EventType::kConsumerReady,
+                                            static_cast<std::uint32_t>(j)));
     }
   }
+}
+
+void MicroserviceSystem::run_for(double seconds) {
+  MIRAS_EXPECTS(seconds >= 0.0);
+  events_.run_until(events_.now() + seconds,
+                    [this](Event&& event) { dispatch(event); });
 }
 
 StepResult MicroserviceSystem::step(const std::vector<int>& allocation) {
@@ -164,7 +216,11 @@ StepResult MicroserviceSystem::step(const std::vector<int>& allocation) {
             0);
 
   apply_allocation(allocation);
-  events_.run_until(events_.now() + config_.window_length);
+  const SimTime window_end = events_.now() + config_.window_length;
+  // The boundary marker is a no-op dispatched last among the window's
+  // events; real events keep their relative (time, seq) order around it.
+  events_.schedule(window_end, make_event(EventType::kWindowBoundary, 0));
+  events_.run_until(window_end, [this](Event&& event) { dispatch(event); });
 
   StepResult result;
   result.state = observe_wip();

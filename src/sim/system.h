@@ -4,7 +4,11 @@
 // and a window-granular control interface (Env).
 //
 // This component substitutes for the paper's GCP/Kubernetes/RabbitMQ
-// testbed; see DESIGN.md §1 for the substitution argument.
+// testbed; see DESIGN.md §1 for the substitution argument, and §2's
+// "simulator internals" subsection for the typed-event core: events are
+// small POD values in a 4-ary (time, seq) min-heap, dispatched through the
+// switch in dispatch(), so steady-state stepping never touches the
+// allocator.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +50,14 @@ class MicroserviceSystem final : public Env {
  public:
   MicroserviceSystem(workflows::Ensemble ensemble, SystemConfig config);
 
+  // The dependency service (and the typed events in flight) point into this
+  // object; copying or moving it would leave them dangling. Construct in
+  // place (prvalue returns elide) or hold via unique_ptr.
+  MicroserviceSystem(const MicroserviceSystem&) = delete;
+  MicroserviceSystem& operator=(const MicroserviceSystem&) = delete;
+  MicroserviceSystem(MicroserviceSystem&&) = delete;
+  MicroserviceSystem& operator=(MicroserviceSystem&&) = delete;
+
   // Env interface -----------------------------------------------------------
   std::size_t state_dim() const override;
   std::size_t action_dim() const override;
@@ -53,10 +65,21 @@ class MicroserviceSystem final : public Env {
   std::vector<double> reset() override;
   StepResult step(const std::vector<int>& allocation) override;
 
+  /// Rewinds to the state a freshly constructed system with master seed
+  /// `seed` would have: replays the construction-time rng split, then
+  /// reset(). Pooled storage (slab, rings, heap) keeps its capacity, so a
+  /// reseed-reuse cycle allocates nothing. Always returns true.
+  bool reseed(std::uint64_t seed) override;
+
   // Extras ------------------------------------------------------------------
   /// Injects `burst.counts[i]` requests of each workflow type i at the
   /// current instant (call between reset() and the first step()).
   void inject_burst(const BurstSpec& burst);
+
+  /// Advances the clock `seconds` forward, processing every due event, with
+  /// no window accounting or StepResult packing — the raw event-stepping
+  /// path (used by the event-throughput benchmark and warm-up loops).
+  void run_for(double seconds);
 
   /// Current WIP per task type (queued + in service).
   std::vector<double> observe_wip() const;
@@ -65,6 +88,7 @@ class MicroserviceSystem final : public Env {
   const SystemConfig& config() const { return config_; }
   SimTime now() const { return events_.now(); }
   const SystemCounters& counters() const { return counters_; }
+  std::uint64_t executed_events() const { return events_.executed_events(); }
 
   /// Live tasks anywhere in the system (queued + in service), for
   /// conservation checks: tasks_enqueued == tasks_completed + live_tasks().
@@ -90,12 +114,14 @@ class MicroserviceSystem final : public Env {
   }
 
  private:
+  void dispatch(const Event& event);
   void schedule_next_arrival(std::size_t workflow_type);
   void handle_arrival(std::size_t workflow_type, bool from_steady_stream);
   void enqueue_task(std::uint64_t instance, std::size_t workflow_type,
                     std::size_t node);
   void try_dispatch(std::size_t task_type);
-  void handle_task_complete(std::size_t task_type, TaskRequest request);
+  void handle_task_complete(std::size_t task_type, std::uint64_t instance,
+                            std::size_t node);
   void handle_consumer_ready(std::size_t task_type);
   void apply_allocation(const std::vector<int>& allocation);
 
@@ -103,14 +129,15 @@ class MicroserviceSystem final : public Env {
   SystemConfig config_;
   Rng rng_;
 
-  EventQueue events_;
+  TypedEventQueue events_;
   DependencyService dependency_service_;
   WorkloadSource workload_;
   std::vector<TaskQueue> queues_;    // one per task type
   std::vector<ConsumerPool> pools_;  // one per task type
   SystemCounters counters_;
 
-  // Accumulators for the in-progress window.
+  // Accumulators for the in-progress window; sized at construction and
+  // refilled in place, never reallocated.
   std::vector<std::size_t> window_arrivals_;
   std::vector<std::size_t> window_completed_;
   std::vector<double> window_response_sum_;

@@ -5,10 +5,20 @@
 namespace miras::sim {
 
 TaskRequest TaskQueue::pop() {
-  MIRAS_EXPECTS(!queue_.empty());
-  TaskRequest front = queue_.front();
-  queue_.pop_front();
+  MIRAS_EXPECTS(count_ > 0);
+  TaskRequest front = slots_[head_];
+  head_ = (head_ + 1) & (slots_.size() - 1);
+  --count_;
   return front;
+}
+
+void TaskQueue::grow() {
+  const std::size_t capacity = slots_.empty() ? 8 : slots_.size() * 2;
+  std::vector<TaskRequest> bigger(capacity);
+  for (std::size_t i = 0; i < count_; ++i)
+    bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+  slots_ = std::move(bigger);
+  head_ = 0;
 }
 
 }  // namespace miras::sim

@@ -1,8 +1,11 @@
 // Per-microservice FIFO request queue (the RabbitMQ queue of §II-A).
+// Backed by a power-of-two ring buffer that reuses its TaskRequest slots:
+// after warm-up, push/pop never touch the allocator, and clear() keeps the
+// capacity so reset-reuse cycles allocate nothing either.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "sim/engine.h"
 
@@ -17,18 +20,29 @@ struct TaskRequest {
 
 class TaskQueue {
  public:
-  bool empty() const { return queue_.empty(); }
-  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
 
-  void push(TaskRequest request) { queue_.push_back(request); }
+  void push(TaskRequest request) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = request;
+    ++count_;
+  }
 
   /// Removes and returns the oldest request. Requires !empty().
   TaskRequest pop();
 
-  void clear() { queue_.clear(); }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
 
  private:
-  std::deque<TaskRequest> queue_;
+  void grow();
+
+  std::vector<TaskRequest> slots_;  // capacity is always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
 };
 
 }  // namespace miras::sim

@@ -40,6 +40,10 @@ class WorkloadSource {
   RngState rng_state() const { return rng_.state(); }
   void set_rng_state(const RngState& state) { rng_.set_state(state); }
 
+  /// Replaces the rng wholesale (used by MicroserviceSystem::reseed to
+  /// replay the construction-time split from a new master seed).
+  void reseed(Rng rng) { rng_ = rng; }
+
  private:
   std::vector<double> rates_;
   Rng rng_;

@@ -56,7 +56,7 @@ class DependencyServiceTest : public ::testing::Test {
 
 TEST_F(DependencyServiceTest, ChainStartsAtRoot) {
   const auto inst = tds_.create_instance(0, 1.5);
-  EXPECT_EQ(inst.initial_nodes, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(*inst.initial_nodes, (std::vector<std::size_t>{0}));
   EXPECT_EQ(tds_.live_instances(), 1u);
 }
 
@@ -140,6 +140,45 @@ TEST_F(DependencyServiceTest, ClearDropsInstances) {
   tds_.clear();
   EXPECT_EQ(tds_.live_instances(), 0u);
   EXPECT_THROW(tds_.on_task_complete(inst.id, 0), ContractViolation);
+}
+
+// Regression for the reset-determinism bug: clear() used to leave the id
+// counter running, so a reset() system handed out different instance ids
+// than a freshly constructed one. The id stream must be a pure function of
+// the create/complete sequence, not of history before clear().
+TEST_F(DependencyServiceTest, IdStreamIdenticalAfterClear) {
+  auto id_stream = [](DependencyService& tds) {
+    std::vector<std::uint64_t> ids;
+    ids.push_back(tds.create_instance(0, 0.0).id);
+    ids.push_back(tds.create_instance(1, 0.5).id);
+    const auto third = tds.create_instance(2, 1.0);
+    ids.push_back(third.id);
+    (void)tds.on_task_complete(third.id, 0);  // completes → slot recycled
+    ids.push_back(tds.create_instance(0, 2.0).id);
+    return ids;
+  };
+  const auto fresh = id_stream(tds_);
+  tds_.clear();
+  const auto after_clear = id_stream(tds_);
+  EXPECT_EQ(after_clear, fresh);
+  DependencyService fresh_tds(&ensemble_);
+  EXPECT_EQ(id_stream(fresh_tds), fresh);
+}
+
+// Slab slot recycling must never alias a live workflow: the id handed out
+// for a recycled slot carries a new generation, so the dead instance's id
+// stays invalid even though its slot is live again.
+TEST_F(DependencyServiceTest, RecycledSlotDoesNotAliasDeadInstance) {
+  const auto first = tds_.create_instance(2, 0.0);   // single-node workflow
+  (void)tds_.on_task_complete(first.id, 0);          // completes, slot freed
+  const auto second = tds_.create_instance(0, 1.0);  // reuses the slot
+  EXPECT_NE(first.id, second.id);
+  // The dead id must not act on the slot's new occupant.
+  EXPECT_THROW(tds_.on_task_complete(first.id, 0), ContractViolation);
+  // The new occupant is unaffected and advances normally.
+  const auto r = tds_.on_task_complete(second.id, 0);
+  EXPECT_EQ(r.ready_nodes, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(tds_.live_instances(), 1u);
 }
 
 }  // namespace

@@ -40,7 +40,8 @@ GridResult run_grid(const EnsembleSetup& setup, common::ThreadPool* pool) {
         sim::SystemConfig config;
         config.consumer_budget = setup.budget;
         config.seed = seed;
-        return sim::MicroserviceSystem(setup.make_ensemble(), config);
+        return std::make_unique<sim::MicroserviceSystem>(setup.make_ensemble(),
+                                                         config);
       },
       pool);
   const std::vector<PolicySpec> policies{

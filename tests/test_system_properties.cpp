@@ -113,6 +113,46 @@ TEST_P(SystemPropertyTest, ResetIsReproducible) {
   (void)result;
 }
 
+TEST_P(SystemPropertyTest, ReseedMatchesFreshConstruction) {
+  // reseed(s) must leave a (possibly well-used) system bit-identical to a
+  // freshly constructed one with master seed s — the contract the pooled
+  // parallel layers (EvaluationHarness, MirasAgent) rely on to reuse
+  // environments across cells/episodes.
+  const PropertyCase param = GetParam();
+  MicroserviceSystem fresh = make_system(param);
+
+  PropertyCase other = param;
+  other.seed = param.seed + 1000;  // construct with a *different* seed
+  MicroserviceSystem reused = make_system(other);
+  Rng warm_rng(7);
+  reused.reset();
+  for (int k = 0; k < 8; ++k)  // dirty the slab, rings, heap, and counters
+    (void)reused.step(random_allocation(warm_rng, reused.action_dim(),
+                                        reused.consumer_budget()));
+  ASSERT_TRUE(reused.reseed(param.seed));
+
+  // Both now replay the factory path: reset() then identical allocations.
+  EXPECT_EQ(fresh.reset(), reused.reset());
+  Rng rng_a(param.seed ^ 0x77), rng_b(param.seed ^ 0x77);
+  for (int k = 0; k < 15; ++k) {
+    const auto alloc = random_allocation(rng_a, fresh.action_dim(),
+                                         fresh.consumer_budget());
+    ASSERT_EQ(alloc, random_allocation(rng_b, reused.action_dim(),
+                                       reused.consumer_budget()));
+    const StepResult ra = fresh.step(alloc);
+    const StepResult rb = reused.step(alloc);
+    EXPECT_EQ(ra.state, rb.state);
+    EXPECT_EQ(ra.reward, rb.reward);  // exact bits, not near-equality
+    EXPECT_EQ(ra.stats.arrivals, rb.stats.arrivals);
+    EXPECT_EQ(ra.stats.completed, rb.stats.completed);
+    EXPECT_EQ(ra.stats.mean_response_time, rb.stats.mean_response_time);
+  }
+  EXPECT_EQ(fresh.counters().workflows_arrived,
+            reused.counters().workflows_arrived);
+  EXPECT_EQ(fresh.counters().tasks_completed,
+            reused.counters().tasks_completed);
+}
+
 TEST_P(SystemPropertyTest, MoreConsumersNeverHurtThroughputOnAverage) {
   // Run the same seed with budget-starved vs budget-rich uniform
   // allocations; the rich system must complete at least as many workflows.
