@@ -23,7 +23,8 @@ namespace {
 
 void run_fig6(const std::string& name, workflows::Ensemble ensemble,
               int budget, core::MirasConfig config,
-              const bench::BenchOptions& options, std::ostream& out) {
+              const bench::BenchOptions& options, common::ThreadPool* pool,
+              std::ostream& out) {
   sim::SystemConfig system_config;
   system_config.consumer_budget = budget;
   system_config.seed = options.seed;
@@ -33,6 +34,10 @@ void run_fig6(const std::string& name, workflows::Ensemble ensemble,
       << " iterations x " << config.real_steps_per_iteration
       << " real steps, eval over " << config.eval_steps << " steps\n";
   core::MirasAgent agent(&system, config);
+  // Gradient work shares the section pool (nested parallel_for is fine —
+  // the section thread participates). Deterministic: the trace is
+  // byte-identical at any --threads value.
+  agent.enable_parallel_training(pool);
   Table table({"iteration", "real_steps_total", "dataset_size",
                "model_train_loss", "eval_aggregate_reward"});
   bench::train_with_checkpoints(
@@ -101,7 +106,7 @@ int main(int argc, char** argv) {
     const auto run_section = [&](std::size_t i) {
       Fig6Section& section = sections[i];
       run_fig6(section.name, std::move(section.ensemble), section.budget,
-               section.config, options, buffers[i]);
+               section.config, options, pool.get(), buffers[i]);
     };
     if (pool != nullptr) {
       pool->parallel_for(sections.size(), run_section);

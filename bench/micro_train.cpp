@@ -1,0 +1,131 @@
+// Microbenchmarks of the deterministic data-parallel training layer
+// (google-benchmark): dynamics-model fit epochs and DDPG updates at 1/4/8
+// workers. The learned weights are bit-identical at every Arg value — only
+// the wall clock moves — and the steady-state sharded paths allocate
+// nothing (bytes_per_op 0 at Arg(1), where training runs inline without a
+// pool; the pool path pays only the pool's own dispatch allocations). Pass
+// `--json <path>` to dump {op, ns_per_op, bytes_per_op, iterations} records
+// (the BENCH_train.json CI artifact).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "envmodel/dataset.h"
+#include "envmodel/dynamics_model.h"
+#include "rl/ddpg.h"
+
+namespace miras {
+namespace {
+
+constexpr std::size_t kStateDim = 6;
+constexpr std::size_t kActionDim = 6;
+
+// Arg(1) exercises the inline path (no pool, the zero-allocation
+// reference); Arg(n > 1) attaches an n-worker pool.
+std::unique_ptr<common::ThreadPool> make_pool(std::int64_t workers) {
+  if (workers <= 1) return nullptr;
+  return std::make_unique<common::ThreadPool>(
+      static_cast<std::size_t>(workers));
+}
+
+// Synthetic mixing dynamics: enough structure that the fit does real work,
+// deterministic in the seed.
+envmodel::TransitionDataset make_fit_dataset(std::size_t count) {
+  envmodel::TransitionDataset data(kStateDim, kActionDim);
+  Rng rng(91);
+  for (std::size_t i = 0; i < count; ++i) {
+    envmodel::Transition t;
+    t.state.resize(kStateDim);
+    for (double& s : t.state) s = rng.uniform(0.0, 40.0);
+    t.action.resize(kActionDim);
+    for (int& a : t.action) a = static_cast<int>(rng.uniform_int(0, 4));
+    t.next_state.resize(kStateDim);
+    for (std::size_t j = 0; j < kStateDim; ++j) {
+      const std::size_t k = (j + 1) % kStateDim;
+      t.next_state[j] = 0.8 * t.state[j] + 0.15 * t.state[k] -
+                        2.0 * t.action[j] + rng.uniform(-0.5, 0.5);
+      if (t.next_state[j] < 0.0) t.next_state[j] = 0.0;
+    }
+    t.reward = -t.state[0];
+    data.add(std::move(t));
+  }
+  return data;
+}
+
+// One fit() pass (epochs=1) over a 4096-sample dataset with the paper's
+// {20, 20, 20} model at the paper batch size. items = training samples.
+void BM_DynamicsFitEpoch(benchmark::State& state) {
+  const auto data = make_fit_dataset(4096);
+  envmodel::DynamicsModelConfig config;
+  config.epochs = 1;
+  config.seed = 7;
+  envmodel::DynamicsModel model(kStateDim, kActionDim, config);
+  const auto pool = make_pool(state.range(0));
+  model.enable_parallel_training(pool.get());
+  // Warm fit: sizes the design matrices, shuffle buffer, and per-block
+  // TrainPass pools so the timed loop runs at steady state.
+  model.fit(data);
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.fit(data));
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_DynamicsFitEpoch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// One DDPG update (twin critics + delayed actor) with the paper's 3 x 256
+// networks at batch 64. items = gradient updates.
+void BM_DdpgUpdateSharded(benchmark::State& state) {
+  rl::DdpgConfig config;
+  config.warmup = 64;
+  config.seed = 23;
+  rl::DdpgAgent agent(kStateDim, kActionDim, /*consumer_budget=*/12, config);
+  const auto pool = make_pool(state.range(0));
+  agent.enable_parallel_training(pool.get());
+  Rng rng(17);
+  std::vector<double> s(kStateDim);
+  std::vector<double> s_next(kStateDim);
+  for (std::size_t i = 0; i < 256; ++i) {
+    for (std::size_t j = 0; j < kStateDim; ++j) {
+      s[j] = rng.uniform(0.0, 40.0);
+      s_next[j] = rng.uniform(0.0, 40.0);
+    }
+    const auto action = agent.act(s, /*explore=*/true);
+    agent.observe(s, action, rng.uniform(-5.0, 0.0), s_next);
+  }
+  // Warm updates: size the replay scratch and the per-block TrainPass pools
+  // of all three sharded loops (critic, twin critic, actor).
+  agent.update(4);
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.update(1));
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DdpgUpdateSharded)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace miras
+
+int main(int argc, char** argv) {
+  return miras::bench::run_benchmarks(argc, argv);
+}

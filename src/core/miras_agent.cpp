@@ -51,6 +51,17 @@ void MirasAgent::enable_parallel_collection(common::ThreadPool* pool,
   // Environments pooled under the previous factory may not match the new
   // one; drop them so every reused env descends from this factory.
   env_pool_.clear();
+  // Collection and training share the thread budget: one pool serves the
+  // episode shards and the gradient blocks (nested parallel_for is
+  // deadlock-free — the caller participates).
+  enable_parallel_training(pool);
+}
+
+void MirasAgent::enable_parallel_training(common::ThreadPool* pool,
+                                          std::size_t shards) {
+  model_.enable_parallel_training(pool, shards);
+  refiner_.enable_parallel(pool);
+  agent_.enable_parallel_training(pool, shards);
 }
 
 void MirasAgent::for_each_shard(

@@ -57,11 +57,23 @@ class MirasAgent {
   /// no pool at all — but note the sharded data-collection schedule differs
   /// from the default sequential mode (episodes run on factory-built
   /// environments with per-episode seeds), so enabling this changes the
-  /// trajectory relative to the sequential agent. DDPG gradient updates
-  /// always stay serial. `pool` (if any) and `make_env` must outlive the
-  /// agent.
+  /// trajectory relative to the sequential agent. Gradient work also moves
+  /// onto the pool (see enable_parallel_training) — that part never changes
+  /// results. `pool` (if any) and `make_env` must outlive the agent.
   void enable_parallel_collection(common::ThreadPool* pool,
                                   EnvFactory make_env);
+
+  /// Runs the gradient work — dynamics-model fit minibatches, refiner
+  /// threshold scans, and DDPG updates — data-parallel on `pool` via the
+  /// deterministic gradient-block path (train_shards.h): results are
+  /// bit-identical to the inline path for any worker count or shard
+  /// grouping, so this composes freely with sequential *or* parallel
+  /// collection and with checkpoint/resume under a different thread count.
+  /// enable_parallel_collection() also turns this on (one pool serves
+  /// both); call with nullptr to force training back inline. `pool` must
+  /// outlive the agent.
+  void enable_parallel_training(common::ThreadPool* pool,
+                                std::size_t shards = 0);
 
   const MirasConfig& config() const { return config_; }
 

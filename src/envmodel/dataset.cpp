@@ -37,10 +37,16 @@ std::vector<double> TransitionDataset::state_dimension(std::size_t j) const {
 }
 
 std::vector<std::size_t> TransitionDataset::shuffled_indices(Rng& rng) const {
-  std::vector<std::size_t> indices(transitions_.size());
+  std::vector<std::size_t> indices;
+  shuffled_indices_into(rng, indices);
+  return indices;
+}
+
+void TransitionDataset::shuffled_indices_into(
+    Rng& rng, std::vector<std::size_t>& indices) const {
+  indices.resize(transitions_.size());
   std::iota(indices.begin(), indices.end(), std::size_t{0});
   rng.shuffle(indices);
-  return indices;
 }
 
 std::pair<TransitionDataset, TransitionDataset> TransitionDataset::split_tail(

@@ -38,6 +38,10 @@ class TransitionDataset {
   /// A deterministic shuffled index permutation.
   std::vector<std::size_t> shuffled_indices(Rng& rng) const;
 
+  /// shuffled_indices writing into a caller-owned buffer (resized); the same
+  /// rng draw sequence, zero steady-state allocations across epochs.
+  void shuffled_indices_into(Rng& rng, std::vector<std::size_t>& indices) const;
+
   /// Splits off the last `count` transitions as a held-out set (paper
   /// §VI-B uses 100 test points); returns {train, test} views by copy.
   std::pair<TransitionDataset, TransitionDataset> split_tail(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -79,6 +80,12 @@ void DynamicsModel::compute_normalizers(const TransitionDataset& data) {
   output_norm_ = to_normalizer(out_stats);
 }
 
+void DynamicsModel::enable_parallel_training(common::ThreadPool* pool,
+                                             std::size_t shards) {
+  pool_ = pool;
+  grad_shards_ = shards;
+}
+
 double DynamicsModel::fit(const TransitionDataset& data) {
   MIRAS_EXPECTS(data.state_dim() == state_dim_);
   MIRAS_EXPECTS(data.action_dim() == action_dim_);
@@ -89,48 +96,71 @@ double DynamicsModel::fit(const TransitionDataset& data) {
     fitted_ = true;
   }
 
-  // Materialise the normalised design matrices once per fit().
+  // Materialise the normalised design matrices once per fit(), into member
+  // buffers (row i mirrors make_input(data[i]) element for element, without
+  // the per-row vector).
   const std::size_t n = data.size();
   const std::size_t in_dim = state_dim_ + action_dim_;
-  nn::Tensor inputs(n, in_dim);
-  nn::Tensor targets(n, state_dim_);
+  design_in_.resize(n, in_dim);
+  design_out_.resize(n, state_dim_);
   for (std::size_t i = 0; i < n; ++i) {
     const Transition& t = data[i];
-    const std::vector<double> x = make_input(t.state, t.action);
-    inputs.set_row(i, x);
+    for (std::size_t j = 0; j < state_dim_; ++j)
+      design_in_(i, j) =
+          (t.state[j] - input_norm_.mean[j]) / input_norm_.stddev[j];
+    for (std::size_t j = 0; j < action_dim_; ++j) {
+      const std::size_t c = state_dim_ + j;
+      design_in_(i, c) =
+          (static_cast<double>(t.action[j]) - input_norm_.mean[c]) /
+          input_norm_.stddev[c];
+    }
     for (std::size_t j = 0; j < state_dim_; ++j) {
       const double raw = config_.predict_delta ? t.next_state[j] - t.state[j]
                                                : t.next_state[j];
-      targets(i, j) =
+      design_out_(i, j) =
           (raw - output_norm_.mean[j]) / output_norm_.stddev[j];
     }
   }
 
-  // Minibatch buffers are hoisted out of the loops and reused; the epoch
-  // loop performs no steady-state allocations beyond the index shuffle.
-  nn::Tensor batch_x;
-  nn::Tensor batch_y;
-  nn::Tensor loss_grad;
+  // Every minibatch decomposes into fixed 16-row gradient blocks; block m
+  // gathers its rows, runs forward+backward into passes_[m], and the block
+  // gradients are reduced in ascending order before one optimizer step
+  // (train_shards.h). The pool only changes which thread runs a block,
+  // never the numbers. All buffers are members, so steady-state epochs
+  // allocate nothing.
   double final_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-    const auto order = data.shuffled_indices(rng_);
+    data.shuffled_indices_into(rng_, shuffle_);
     double epoch_loss = 0.0;
     std::size_t num_batches = 0;
     for (std::size_t start = 0; start < n; start += config_.batch_size) {
       const std::size_t batch = std::min(config_.batch_size, n - start);
-      batch_x.resize(batch, in_dim);
-      batch_y.resize(batch, state_dim_);
-      for (std::size_t b = 0; b < batch; ++b) {
-        const std::size_t idx = order[start + b];
-        for (std::size_t c = 0; c < in_dim; ++c)
-          batch_x(b, c) = inputs(idx, c);
-        for (std::size_t c = 0; c < state_dim_; ++c)
-          batch_y(b, c) = targets(idx, c);
-      }
+      const std::size_t blocks = nn::num_row_blocks(batch);
+      if (passes_.size() < blocks) passes_.resize(blocks);
       network_.zero_grad();
-      const nn::Tensor& prediction = network_.forward(batch_x);
-      const double loss = nn::mse_loss_into(prediction, batch_y, loss_grad);
-      network_.backward(loss_grad);
+      nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
+        nn::TrainPass& pass = passes_[m];
+        const nn::RowRange rows = nn::row_block(batch, m);
+        nn::prepare_pass(network_.layers(), pass);
+        pass.in.resize(rows.size(), in_dim);
+        pass.target.resize(rows.size(), state_dim_);
+        for (std::size_t b = 0; b < rows.size(); ++b) {
+          const std::size_t idx = shuffle_[start + rows.begin + b];
+          std::memcpy(pass.in.data() + b * in_dim,
+                      design_in_.data() + idx * in_dim,
+                      in_dim * sizeof(double));
+          std::memcpy(pass.target.data() + b * state_dim_,
+                      design_out_.data() + idx * state_dim_,
+                      state_dim_ * sizeof(double));
+        }
+        const nn::Tensor& prediction = network_.forward_shard(pass.in, pass);
+        pass.loss = nn::mse_loss_partial_into(
+            prediction, pass.target, batch * state_dim_, pass.loss_grad);
+        network_.backward_shard(pass.in, pass.loss_grad, pass);
+      });
+      double loss = 0.0;
+      for (std::size_t m = 0; m < blocks; ++m) loss += passes_[m].loss;
+      nn::reduce_gradients(passes_, blocks, network_.layers());
       nn::clip_gradients(network_.layers(), config_.grad_clip);
       optimizer_.step(network_.layers());
       epoch_loss += loss;

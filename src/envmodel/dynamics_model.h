@@ -17,9 +17,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "envmodel/dataset.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "nn/train_shards.h"
 #include "nn/workspace.h"
 
 namespace miras::envmodel {
@@ -48,7 +50,20 @@ class DynamicsModel {
   /// Trains on `data` for config.epochs epochs, continuing from the current
   /// parameters (incremental refit). Returns the final epoch's mean training
   /// loss. Requires data dimensions to match and data non-empty.
+  ///
+  /// Every minibatch runs through the canonical gradient-block path
+  /// (train_shards.h) whether or not a pool is attached, so the learned
+  /// weights are bit-identical across thread counts and shard schedules.
   double fit(const TransitionDataset& data);
+
+  /// Runs fit() minibatches data-parallel on `pool` (nullptr reverts to
+  /// inline execution — same numbers either way). `shards` groups gradient
+  /// blocks into at most that many pool tasks per minibatch (0 = one task
+  /// per block); it is a scheduling knob only and never affects results.
+  /// Deliberately not part of the config fingerprint and never serialised:
+  /// checkpoints resume under any thread count.
+  void enable_parallel_training(common::ThreadPool* pool,
+                                std::size_t shards = 0);
 
   /// Mean squared one-step prediction error (in raw state units) on `data`.
   double evaluate(const TransitionDataset& data) const;
@@ -103,6 +118,18 @@ class DynamicsModel {
   Normalizer input_norm_;
   Normalizer output_norm_;
   bool fitted_ = false;
+
+  // Parallel-training scheduling knobs (not serialised; see
+  // enable_parallel_training).
+  common::ThreadPool* pool_ = nullptr;
+  std::size_t grad_shards_ = 0;
+
+  // fit() scratch, reused across calls: normalised design matrices, the
+  // epoch shuffle permutation, and one TrainPass per gradient block.
+  nn::Tensor design_in_;
+  nn::Tensor design_out_;
+  std::vector<std::size_t> shuffle_;
+  std::vector<nn::TrainPass> passes_;
 };
 
 }  // namespace miras::envmodel

@@ -19,13 +19,21 @@ void ModelRefiner::fit_thresholds(const TransitionDataset& data) {
   MIRAS_EXPECTS(!data.empty());
   tau_.resize(data.state_dim());
   omega_.resize(data.state_dim());
-  for (std::size_t j = 0; j < data.state_dim(); ++j) {
+  // Each dimension's percentile scan is independent and writes only its own
+  // tau/omega slot, so the pooled and inline paths produce identical
+  // thresholds.
+  const auto fit_dimension = [&](std::size_t j) {
     const std::vector<double> values = data.state_dimension(j);
     tau_[j] = percentile(values, config_.percentile_p);
     omega_[j] = percentile(values, 100.0 - config_.percentile_p);
     // Degenerate datasets (all-equal dimension) would make the lend range
     // empty; widen it so rho sampling stays well-defined.
     if (omega_[j] <= tau_[j]) omega_[j] = tau_[j] + 1.0;
+  };
+  if (pool_ != nullptr && data.state_dim() > 1) {
+    pool_->parallel_for(data.state_dim(), fit_dimension);
+  } else {
+    for (std::size_t j = 0; j < data.state_dim(); ++j) fit_dimension(j);
   }
   fitted_ = true;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "envmodel/dataset.h"
 #include "envmodel/dynamics_model.h"
 
@@ -33,6 +34,12 @@ class ModelRefiner {
 
   /// Computes tau/omega thresholds from the dataset (Algorithm 1 lines 2-4).
   void fit_thresholds(const TransitionDataset& data);
+
+  /// Runs fit_thresholds() percentile scans data-parallel on `pool`
+  /// (nullptr reverts to inline). Dimensions are independent and each
+  /// writes only its own tau/omega slot, so results never depend on the
+  /// pool. Scheduling state only — not serialised.
+  void enable_parallel(common::ThreadPool* pool) { pool_ = pool; }
 
   bool has_thresholds() const { return fitted_; }
   const std::vector<double>& tau() const { return tau_; }
@@ -73,6 +80,7 @@ class ModelRefiner {
  private:
   const DynamicsModel* model_;
   RefinerConfig config_;
+  common::ThreadPool* pool_ = nullptr;
   Rng rng_;
   std::vector<double> tau_;
   std::vector<double> omega_;

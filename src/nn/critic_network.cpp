@@ -123,6 +123,55 @@ void CriticNetwork::backward_into(const Tensor& grad_q, Tensor& grad_states,
   layers_[0].backward_into(grad_h1_, grad_states);
 }
 
+const Tensor& CriticNetwork::forward_shard(const Tensor& states,
+                                           const Tensor& actions,
+                                           TrainPass& pass) const {
+  MIRAS_EXPECTS(states.cols() == state_dim_);
+  MIRAS_EXPECTS(actions.cols() == action_dim_);
+  MIRAS_EXPECTS(pass.pre.size() == layers_.size());
+  layers_[0].forward_shard(states, pass.pre[0], pass.post[0]);
+  concat_cols_into(pass.post[0], actions, pass.concat);
+  const Tensor* h = &pass.concat;
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    layers_[l].forward_shard(*h, pass.pre[l], pass.post[l]);
+    h = &pass.post[l];
+  }
+  return *h;
+}
+
+void CriticNetwork::backward_shard(const Tensor& states, const Tensor& actions,
+                                   const Tensor& grad_q,
+                                   TrainPass& pass) const {
+  MIRAS_EXPECTS(grad_q.cols() == 1);
+  MIRAS_EXPECTS(actions.cols() == action_dim_);
+  MIRAS_EXPECTS(pass.grads.size() == layers_.size());
+  const Tensor* grad = &grad_q;
+  bool into_a = true;
+  for (std::size_t l = layers_.size() - 1; l >= 2; --l) {
+    Tensor& dst = into_a ? pass.bwd_a : pass.bwd_b;
+    layers_[l].backward_shard(pass.post[l - 1], pass.pre[l], pass.post[l],
+                              *grad, pass.grads[l], pass.grad_pre, dst);
+    grad = &dst;
+    into_a = !into_a;
+  }
+  // grad is now dL/d(h2); backprop through the joint layer and split the
+  // [h1 || a] columns.
+  layers_[1].backward_shard(pass.concat, pass.pre[1], pass.post[1], *grad,
+                            pass.grads[1], pass.grad_pre, pass.grad_concat);
+  const std::size_t h1_width = layers_[0].out_dim();
+  pass.grad_h1.resize(pass.grad_concat.rows(), h1_width);
+  pass.grad_actions.resize(pass.grad_concat.rows(), action_dim_);
+  for (std::size_t r = 0; r < pass.grad_concat.rows(); ++r) {
+    for (std::size_t c = 0; c < h1_width; ++c)
+      pass.grad_h1(r, c) = pass.grad_concat(r, c);
+    for (std::size_t c = 0; c < action_dim_; ++c)
+      pass.grad_actions(r, c) = pass.grad_concat(r, h1_width + c);
+  }
+  // dQ/ds lands in a free ping-pong buffer; nothing consumes it.
+  layers_[0].backward_shard(states, pass.pre[0], pass.post[0], pass.grad_h1,
+                            pass.grads[0], pass.grad_pre, pass.bwd_a);
+}
+
 void CriticNetwork::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();
 }

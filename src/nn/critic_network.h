@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "nn/train_shards.h"
 #include "nn/workspace.h"
 
 namespace miras::nn {
@@ -67,6 +68,21 @@ class CriticNetwork {
   /// `grad_q`, or any critic state.
   void backward_into(const Tensor& grad_q, Tensor& grad_states,
                      Tensor& grad_actions);
+
+  /// Re-entrant training forward for one gradient block: all caches live in
+  /// `pass` (sized by prepare_pass with this critic's layers), so concurrent
+  /// blocks can share one critic. Returns the Q column (pass.post.back()).
+  /// Row for row bit-identical to forward() on the same rows.
+  const Tensor& forward_shard(const Tensor& states, const Tensor& actions,
+                              TrainPass& pass) const;
+
+  /// Re-entrant backward matching the last forward_shard on `pass`:
+  /// accumulates parameter gradients onto pass.grads and writes dQ/da into
+  /// pass.grad_actions (dQ/ds is computed but not exposed — nothing in the
+  /// training loops consumes it). `grad_q` must not alias any pass tensor.
+  /// Touches no critic state.
+  void backward_shard(const Tensor& states, const Tensor& actions,
+                      const Tensor& grad_q, TrainPass& pass) const;
 
   void zero_grad();
   std::size_t parameter_count() const;

@@ -83,6 +83,34 @@ void DenseLayer::backward_into(const Tensor& grad_output, Tensor& grad_input) {
   grad_pre->matmul_transposed_into(weights_, grad_input);
 }
 
+void DenseLayer::forward_shard(const Tensor& x, Tensor& pre,
+                               Tensor& post) const {
+  MIRAS_EXPECTS(x.cols() == in_dim_);
+  MIRAS_EXPECTS(&pre != &x && &post != &x && &pre != &post);
+  x.matmul_into(weights_, pre);
+  pre.add_row_broadcast(bias_);
+  activate_into(activation_, pre, post);
+}
+
+void DenseLayer::backward_shard(const Tensor& x, const Tensor& pre,
+                                const Tensor& post, const Tensor& grad_output,
+                                LayerGrad& grad, Tensor& grad_pre_scratch,
+                                Tensor& grad_input) const {
+  MIRAS_EXPECTS(grad_output.rows() == x.rows());
+  MIRAS_EXPECTS(grad_output.cols() == out_dim_);
+  MIRAS_EXPECTS(grad.weight.same_shape(weights_));
+  MIRAS_EXPECTS(grad.bias.same_shape(bias_));
+  const Tensor* grad_pre = &grad_output;
+  if (activation_ != Activation::kIdentity) {
+    activation_backward_into(activation_, pre, post, grad_output,
+                             grad_pre_scratch);
+    grad_pre = &grad_pre_scratch;
+  }
+  x.transposed_matmul_into(*grad_pre, grad.weight, /*accumulate=*/true);
+  grad_pre->column_sums_into(grad.bias, /*accumulate=*/true);
+  grad_pre->matmul_transposed_into(weights_, grad_input);
+}
+
 void DenseLayer::zero_grad() {
   weight_grad_.fill(0.0);
   bias_grad_.fill(0.0);

@@ -17,6 +17,16 @@
 
 namespace miras::nn {
 
+/// Caller-owned gradient accumulator for one layer: the unit of the sharded
+/// training path (train_shards.h), where every gradient block accumulates
+/// into its own LayerGrad and the blocks are reduced in fixed order into the
+/// layer's own weight_grad()/bias_grad() buffers. Shapes mirror the layer's
+/// parameters.
+struct LayerGrad {
+  Tensor weight;  // in_dim x out_dim
+  Tensor bias;    // 1 x out_dim
+};
+
 class DenseLayer {
  public:
   /// Creates a (in_dim -> out_dim) layer. Weights use He initialisation for
@@ -55,6 +65,25 @@ class DenseLayer {
   /// buffer, resized to the batch shape). `grad_input` must not alias
   /// `grad_output` or any layer state.
   void backward_into(const Tensor& grad_output, Tensor& grad_input);
+
+  /// Re-entrant training forward: like forward() but the caches live in
+  /// caller-owned buffers, so concurrent row blocks can pass through one
+  /// layer at once. Writes the pre-activations into `pre` and
+  /// activate(pre) into `post` (both resized). Row for row bit-identical
+  /// to forward() on the same rows (kernel invariant, tensor.h). `x`,
+  /// `pre`, and `post` must be three distinct tensors.
+  void forward_shard(const Tensor& x, Tensor& pre, Tensor& post) const;
+
+  /// Re-entrant backward matching a forward_shard(x, pre, post) call:
+  /// accumulates dL/dW and dL/db onto `grad` (parameter-shaped tensors the
+  /// caller zeroed or partially accumulated) and writes dL/d(input) into
+  /// `grad_input`. `grad_pre_scratch` is caller scratch for
+  /// dL/d(pre-activation); `grad_input` must not alias `grad_output` or
+  /// `grad_pre_scratch`. Touches no layer state, so any number of blocks
+  /// may run concurrently against one layer.
+  void backward_shard(const Tensor& x, const Tensor& pre, const Tensor& post,
+                      const Tensor& grad_output, LayerGrad& grad,
+                      Tensor& grad_pre_scratch, Tensor& grad_input) const;
 
   /// Zeroes the gradient accumulators.
   void zero_grad();

@@ -14,10 +14,16 @@ LossResult mse_loss(const Tensor& prediction, const Tensor& target) {
 
 double mse_loss_into(const Tensor& prediction, const Tensor& target,
                      Tensor& grad) {
+  return mse_loss_partial_into(prediction, target, prediction.size(), grad);
+}
+
+double mse_loss_partial_into(const Tensor& prediction, const Tensor& target,
+                             std::size_t total_elements, Tensor& grad) {
   MIRAS_EXPECTS(prediction.same_shape(target));
   MIRAS_EXPECTS(prediction.size() > 0);
+  MIRAS_EXPECTS(total_elements >= prediction.size());
   MIRAS_EXPECTS(&grad != &prediction && &grad != &target);
-  const double scale = 1.0 / static_cast<double>(prediction.size());
+  const double scale = 1.0 / static_cast<double>(total_elements);
   grad.resize(prediction.rows(), prediction.cols());
   double value = 0.0;
   for (std::size_t r = 0; r < prediction.rows(); ++r) {
@@ -39,11 +45,19 @@ LossResult huber_loss(const Tensor& prediction, const Tensor& target,
 
 double huber_loss_into(const Tensor& prediction, const Tensor& target,
                        double delta, Tensor& grad) {
+  return huber_loss_partial_into(prediction, target, delta, prediction.size(),
+                                 grad);
+}
+
+double huber_loss_partial_into(const Tensor& prediction, const Tensor& target,
+                               double delta, std::size_t total_elements,
+                               Tensor& grad) {
   MIRAS_EXPECTS(prediction.same_shape(target));
   MIRAS_EXPECTS(prediction.size() > 0);
+  MIRAS_EXPECTS(total_elements >= prediction.size());
   MIRAS_EXPECTS(delta > 0.0);
   MIRAS_EXPECTS(&grad != &prediction && &grad != &target);
-  const double scale = 1.0 / static_cast<double>(prediction.size());
+  const double scale = 1.0 / static_cast<double>(total_elements);
   grad.resize(prediction.rows(), prediction.cols());
   double value = 0.0;
   for (std::size_t r = 0; r < prediction.rows(); ++r) {

@@ -24,6 +24,16 @@ LossResult mse_loss(const Tensor& prediction, const Tensor& target);
 double mse_loss_into(const Tensor& prediction, const Tensor& target,
                      Tensor& grad);
 
+/// MSE over a *block* of a larger batch: value and gradient carry the full
+/// batch's 1/total_elements scale. The block gradients concatenate to the
+/// full-batch gradient bit-identically (per-element arithmetic is
+/// unchanged); the block values sum to the full-batch loss up to summation
+/// order, so the training loops chain them in ascending block order to keep
+/// the reported loss deterministic. With total_elements ==
+/// prediction.size() this IS mse_loss_into.
+double mse_loss_partial_into(const Tensor& prediction, const Tensor& target,
+                             std::size_t total_elements, Tensor& grad);
+
 /// Huber loss with threshold `delta` (quadratic inside, linear outside);
 /// robust to the occasional extreme WIP transition in the replay data.
 LossResult huber_loss(const Tensor& prediction, const Tensor& target,
@@ -33,5 +43,11 @@ LossResult huber_loss(const Tensor& prediction, const Tensor& target,
 /// scalar loss. `grad` must not alias the inputs.
 double huber_loss_into(const Tensor& prediction, const Tensor& target,
                        double delta, Tensor& grad);
+
+/// Huber loss over a block of a larger batch; see mse_loss_partial_into for
+/// the scaling contract.
+double huber_loss_partial_into(const Tensor& prediction, const Tensor& target,
+                               double delta, std::size_t total_elements,
+                               Tensor& grad);
 
 }  // namespace miras::nn

@@ -84,6 +84,35 @@ const Tensor& Network::backward(const Tensor& grad_output) {
   return *g;
 }
 
+const Tensor& Network::forward_shard(const Tensor& x, TrainPass& pass) const {
+  MIRAS_EXPECTS(!layers_.empty());
+  MIRAS_EXPECTS(pass.pre.size() == layers_.size());
+  const Tensor* h = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].forward_shard(*h, pass.pre[l], pass.post[l]);
+    h = &pass.post[l];
+  }
+  return *h;
+}
+
+const Tensor& Network::backward_shard(const Tensor& x,
+                                      const Tensor& grad_output,
+                                      TrainPass& pass) const {
+  MIRAS_EXPECTS(!layers_.empty());
+  MIRAS_EXPECTS(pass.grads.size() == layers_.size());
+  const Tensor* g = &grad_output;
+  bool into_a = true;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Tensor& input = l == 0 ? x : pass.post[l - 1];
+    Tensor& dst = into_a ? pass.bwd_a : pass.bwd_b;
+    layers_[l].backward_shard(input, pass.pre[l], pass.post[l], *g,
+                              pass.grads[l], pass.grad_pre, dst);
+    g = &dst;
+    into_a = !into_a;
+  }
+  return *g;
+}
+
 void Network::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();
 }

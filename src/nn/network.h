@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "nn/layer.h"
+#include "nn/train_shards.h"
 #include "nn/workspace.h"
 
 namespace miras::nn {
@@ -78,6 +79,20 @@ class Network {
   /// Backpropagates dL/d(output); accumulates parameter gradients and
   /// returns dL/d(input) by reference (valid until the next backward()).
   const Tensor& backward(const Tensor& grad_output);
+
+  /// Re-entrant training forward for one gradient block: caches live in
+  /// `pass` (sized by prepare_pass), so concurrent blocks can pass through
+  /// one network at once. Returns the last layer's output (pass.post.back()).
+  /// Row for row bit-identical to forward() on the same rows.
+  const Tensor& forward_shard(const Tensor& x, TrainPass& pass) const;
+
+  /// Re-entrant backward matching the last forward_shard(x, pass):
+  /// accumulates parameter gradients onto pass.grads (reduced later via
+  /// reduce_gradients) and returns dL/dx (valid until the next
+  /// backward_shard on this pass). `grad_output` must not alias pass.bwd_a
+  /// or pass.bwd_b. Touches no network state.
+  const Tensor& backward_shard(const Tensor& x, const Tensor& grad_output,
+                               TrainPass& pass) const;
 
   void zero_grad();
 

@@ -1,6 +1,12 @@
 // First-order optimisers operating on a network's layers. State (momentum /
 // Adam moments) is allocated lazily on the first step and keyed by layer
 // index, so one optimiser instance must stay paired with one network.
+//
+// step() and clip_gradients() read the layers' own weight_grad()/bias_grad()
+// buffers. Under the sharded training path (train_shards.h) those buffers
+// ARE the reduction target of reduce_gradients(), so the optimiser is
+// oblivious to how the gradients were produced — serial backward and
+// sharded backward+reduce take the identical code path from here on.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,50 @@
+#include "nn/train_shards.h"
+
+#include <cstring>
+
+#include "common/contracts.h"
+
+namespace miras::nn {
+
+void prepare_pass(const std::vector<DenseLayer>& layers, TrainPass& pass) {
+  pass.pre.resize(layers.size());
+  pass.post.resize(layers.size());
+  pass.grads.resize(layers.size());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    LayerGrad& g = pass.grads[l];
+    g.weight.resize(layers[l].weights().rows(), layers[l].weights().cols());
+    g.weight.fill(0.0);
+    g.bias.resize(1, layers[l].bias().cols());
+    g.bias.fill(0.0);
+  }
+  pass.loss = 0.0;
+}
+
+void reduce_gradients(const std::vector<TrainPass>& passes, std::size_t count,
+                      std::vector<DenseLayer>& layers) {
+  MIRAS_EXPECTS(count <= passes.size());
+  for (std::size_t m = 0; m < count; ++m) {
+    const TrainPass& pass = passes[m];
+    MIRAS_EXPECTS(pass.grads.size() == layers.size());
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      layers[l].weight_grad() += pass.grads[l].weight;
+      layers[l].bias_grad() += pass.grads[l].bias;
+    }
+  }
+}
+
+void copy_rows(const Tensor& src, RowRange range, Tensor& dst) {
+  MIRAS_EXPECTS(range.begin <= range.end && range.end <= src.rows());
+  dst.resize(range.size(), src.cols());
+  std::memcpy(dst.data(), src.data() + range.begin * src.cols(),
+              range.size() * src.cols() * sizeof(double));
+}
+
+void paste_rows(const Tensor& src, RowRange range, Tensor& dst) {
+  MIRAS_EXPECTS(range.begin <= range.end && range.end <= dst.rows());
+  MIRAS_EXPECTS(src.rows() == range.size() && src.cols() == dst.cols());
+  std::memcpy(dst.data() + range.begin * dst.cols(), src.data(),
+              range.size() * dst.cols() * sizeof(double));
+}
+
+}  // namespace miras::nn

@@ -1,0 +1,152 @@
+// Deterministic data-parallel gradient accumulation (DESIGN.md §5d).
+//
+// The training minibatch is split into fixed-size row blocks of
+// kRowsPerBlock rows. Each block runs forward + backward re-entrantly
+// (forward_shard/backward_shard) into its own TrainPass — per-layer caches
+// plus per-layer LayerGrad accumulators — and the block partials are then
+// reduced serially, in ascending block index order, into the network's own
+// gradient buffers before one optimizer step.
+//
+// Two invariants make the result independent of both the worker count and
+// the shard schedule:
+//  - block boundaries depend only on the batch size (never on threads or
+//    shard count), and each block accumulates its rows in ascending row
+//    order (the kernel invariant, tensor.h);
+//  - the reduction is a fixed left-to-right chain over block indices,
+//    performed by one thread after every block has finished.
+// Pool shards only *group* contiguous blocks into dispatch units, so
+// 1 thread ≡ 8 threads ≡ any shard count K, bit for bit — including the
+// no-pool inline path, which is why the "serial engine" and the parallel
+// engine are the same engine.
+//
+// Memory model: every buffer in a TrainPass grows to the largest shapes it
+// has seen and is reused, so a steady-state sharded update allocates
+// nothing. A TrainPass is NOT thread-safe; the training loops own one pass
+// per block index.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "nn/layer.h"
+#include "nn/tensor.h"
+#include "nn/workspace.h"
+
+namespace miras::nn {
+
+/// Fixed gradient-block granularity (rows). The canonical accumulation
+/// grouping is defined at this granularity, NOT at the shard count, so the
+/// numbers cannot depend on how blocks are packed onto pool tasks.
+inline constexpr std::size_t kRowsPerBlock = 16;
+
+/// Contiguous row range [begin, end) of one gradient block.
+struct RowRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Number of gradient blocks a batch of `rows` rows decomposes into.
+inline std::size_t num_row_blocks(std::size_t rows) {
+  return (rows + kRowsPerBlock - 1) / kRowsPerBlock;
+}
+
+/// The m-th block's row range; every block except possibly the last spans
+/// exactly kRowsPerBlock rows.
+inline RowRange row_block(std::size_t rows, std::size_t m) {
+  const std::size_t begin = m * kRowsPerBlock;
+  const std::size_t end = begin + kRowsPerBlock < rows
+                              ? begin + kRowsPerBlock
+                              : rows;
+  return RowRange{begin, end};
+}
+
+/// Caller-owned state for one gradient block of one network: per-layer
+/// forward caches, per-layer gradient accumulators, backward scratch, and
+/// block staging tensors for the enclosing training loop. Buffers are
+/// reused across minibatches (zero steady-state allocations).
+struct TrainPass {
+  // Per-layer forward caches (index = layer).
+  std::vector<Tensor> pre;
+  std::vector<Tensor> post;
+  // Per-layer gradient accumulators, reduced via reduce_gradients().
+  std::vector<LayerGrad> grads;
+  // Backward scratch: dL/d(pre-activation) and the layer-to-layer
+  // ping-pong pair.
+  Tensor grad_pre;
+  Tensor bwd_a;
+  Tensor bwd_b;
+  // Block staging owned by the enclosing loop (input rows, target rows,
+  // auxiliary outputs, loss gradient, the critic's concat/split buffers,
+  // action rows and dL/da).
+  Tensor in;
+  Tensor target;
+  Tensor out;
+  Tensor loss_grad;
+  Tensor concat;
+  Tensor grad_concat;
+  Tensor grad_h1;
+  Tensor actions;
+  Tensor grad_actions;
+  /// Block-local loss partial (already carrying the whole-batch scale);
+  /// sum the blocks in ascending order for the batch loss.
+  double loss = 0.0;
+  /// Inference scratch for mixed pipelines (e.g. the DDPG target stage
+  /// runs predict_batch per block).
+  Workspace ws;
+};
+
+/// Sizes pass.pre/post/grads for `layers` and zeroes the gradient
+/// accumulators (call once per block per minibatch, from the block body).
+void prepare_pass(const std::vector<DenseLayer>& layers, TrainPass& pass);
+
+/// Adds the per-block accumulators of passes[0..count) onto the layers' own
+/// gradient buffers, in ascending block order (serial; call after every
+/// block has finished, with the layer gradients zeroed beforehand).
+/// Clipping and the optimizer step then consume the layers' buffers exactly
+/// as in the member-cache path.
+void reduce_gradients(const std::vector<TrainPass>& passes, std::size_t count,
+                      std::vector<DenseLayer>& layers);
+
+/// Runs body(m) for every block index in [0, blocks): inline in ascending
+/// order without a pool, otherwise grouped into `shards` contiguous pool
+/// tasks (0 = one task per block), each processing its blocks in ascending
+/// order. Every block writes only its own TrainPass / row slots, so the
+/// grouping and the thread count are invisible in the results. A template
+/// so the no-pool path never touches std::function — the inline loop stays
+/// allocation-free (the pool path type-erases, which is where the pool's
+/// own dispatch allocations already live).
+template <typename Body>
+void for_each_block(common::ThreadPool* pool, std::size_t blocks,
+                    std::size_t shards, Body&& body) {
+  if (pool == nullptr || blocks <= 1) {
+    for (std::size_t m = 0; m < blocks; ++m) body(m);
+    return;
+  }
+  if (shards == 0) {
+    pool->parallel_for(blocks, body);
+    return;
+  }
+  // Group contiguous blocks into `shards` pool tasks. Each task walks its
+  // blocks in ascending order; which task owns which block depends only on
+  // (blocks, shards), never on thread count.
+  const std::size_t tasks = shards < blocks ? shards : blocks;
+  pool->parallel_for(tasks, [&](std::size_t t) {
+    const std::size_t begin = t * blocks / tasks;
+    const std::size_t end = (t + 1) * blocks / tasks;
+    for (std::size_t m = begin; m < end; ++m) body(m);
+  });
+}
+
+/// dst <- rows [range.begin, range.end) of src, as one contiguous memcpy
+/// (row-major layout). dst is resized to (range.size() x src.cols()).
+void copy_rows(const Tensor& src, RowRange range, Tensor& dst);
+
+/// Rows [range.begin, range.end) of dst <- src (src must be range.size()
+/// rows of dst.cols()); the block counterpart of copy_rows. Concurrent
+/// paste_rows calls with disjoint ranges are race-free.
+void paste_rows(const Tensor& src, RowRange range, Tensor& dst);
+
+}  // namespace miras::nn

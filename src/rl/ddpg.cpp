@@ -321,6 +321,12 @@ void DdpgAgent::observe_state_only(const std::vector<double>& state) {
     state_stats_[j].add(state_feature(state[j]));
 }
 
+void DdpgAgent::enable_parallel_training(common::ThreadPool* pool,
+                                         std::size_t shards) {
+  pool_ = pool;
+  grad_shards_ = shards;
+}
+
 double DdpgAgent::update(std::size_t count) {
   if (replay_.size() < std::max(config_.warmup, config_.batch_size))
     return 0.0;
@@ -328,35 +334,21 @@ double DdpgAgent::update(std::size_t count) {
   double critic_loss_sum = 0.0;
   std::size_t ran = 0;
   for (std::size_t step = 0; step < count; ++step) {
-    const auto batch = replay_.sample(config_.batch_size, rng_);
-    const std::size_t b_size = batch.size();
+    replay_.sample_into(config_.batch_size, rng_, batch_scratch_);
+    const std::size_t b_size = batch_scratch_.size();
+    const std::size_t blocks = nn::num_row_blocks(b_size);
+    if (critic_passes_.size() < blocks) {
+      critic_passes_.resize(blocks);
+      critic2_passes_.resize(blocks);
+      actor_passes_.resize(blocks);
+    }
 
-    normalize_states_into(batch, /*next=*/false, batch_states_);
-    normalize_states_into(batch, /*next=*/true, batch_next_states_);
+    normalize_states_into(batch_scratch_, /*next=*/false, batch_states_);
+    normalize_states_into(batch_scratch_, /*next=*/true, batch_next_states_);
     batch_actions_.resize(b_size, action_dim_);
     for (std::size_t b = 0; b < b_size; ++b)
-      batch_actions_.set_row(b, batch[b]->action);
+      batch_actions_.set_row(b, batch_scratch_[b]->action);
 
-    // ---- Critic update: y = R + gamma^n * min_i Q_i'(s', ~mu'(s')).
-    actor_target_.predict_batch(batch_next_states_, ws_, next_actions_);
-    if (config_.target_policy_smoothing > 0.0) {
-      // Mix the bootstrap action with uniform so the target values a small
-      // neighbourhood of the policy, not a knife-edge simplex corner.
-      const double kappa = config_.target_policy_smoothing;
-      const double uniform_mass = kappa / static_cast<double>(action_dim_);
-      for (std::size_t b = 0; b < b_size; ++b)
-        for (std::size_t j = 0; j < action_dim_; ++j)
-          next_actions_(b, j) =
-              (1.0 - kappa) * next_actions_(b, j) + uniform_mass;
-    }
-    critic_target_.predict_batch(batch_next_states_, next_actions_, ws_,
-                                 next_q_);
-    if (config_.twin_critics) {
-      critic2_target_.predict_batch(batch_next_states_, next_actions_, ws_,
-                                    next_q2_);
-      for (std::size_t b = 0; b < b_size; ++b)
-        next_q_(b, 0) = std::min(next_q_(b, 0), next_q2_(b, 0));
-    }
     // Any true Q lies in [min_r, max_r] / (1 - gamma); clamping the
     // bootstrapped target to that box prevents value divergence (the
     // deadly-triad runaway that otherwise swamps dQ/da with noise). The
@@ -364,27 +356,71 @@ double DdpgAgent::update(std::size_t count) {
     // inside the same geometric envelope.
     const double q_floor = min_reward_seen_ / (1.0 - config_.gamma);
     const double q_ceil = max_reward_seen_ / (1.0 - config_.gamma);
-    targets_.resize(b_size, 1);
-    for (std::size_t b = 0; b < b_size; ++b)
-      targets_(b, 0) =
-          std::clamp(batch[b]->reward + batch[b]->discount * next_q_(b, 0),
-                     q_floor, q_ceil);
 
+    // ---- Critic update: y = R + gamma^n * min_i Q_i'(s', ~mu'(s')).
+    // Each gradient block computes its own rows' targets (target-network
+    // inference is row-sliced, bit-identical to a full-batch pass by the
+    // kernel invariant) and then runs the TD forward+backward into its
+    // TrainPass; block gradients reduce in ascending order before one
+    // optimizer step, so the pool never shows in the weights.
     critic_.zero_grad();
-    const nn::Tensor& q_values = critic_.forward(batch_states_, batch_actions_);
-    const double critic_loss =
-        nn::huber_loss_into(q_values, targets_, 10.0, loss_grad_);
-    critic_.backward_into(loss_grad_, grad_states_, grad_actions_);
+    if (config_.twin_critics) critic2_.zero_grad();
+    nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
+      nn::TrainPass& pass = critic_passes_[m];
+      const nn::RowRange rows = nn::row_block(b_size, m);
+      // Targets for this block's rows: ~mu'(s') then min_i Q_i'.
+      nn::copy_rows(batch_next_states_, rows, pass.in);
+      actor_target_.predict_batch(pass.in, pass.ws, pass.out);
+      if (config_.target_policy_smoothing > 0.0) {
+        // Mix the bootstrap action with uniform so the target values a
+        // small neighbourhood of the policy, not a knife-edge corner.
+        const double kappa = config_.target_policy_smoothing;
+        const double uniform_mass = kappa / static_cast<double>(action_dim_);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+          for (std::size_t j = 0; j < action_dim_; ++j)
+            pass.out(r, j) = (1.0 - kappa) * pass.out(r, j) + uniform_mass;
+      }
+      critic_target_.predict_batch(pass.in, pass.out, pass.ws, pass.target);
+      if (config_.twin_critics) {
+        critic2_target_.predict_batch(pass.in, pass.out, pass.ws,
+                                      pass.loss_grad);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+          pass.target(r, 0) = std::min(pass.target(r, 0), pass.loss_grad(r, 0));
+      }
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const Experience* e = batch_scratch_[rows.begin + r];
+        pass.target(r, 0) = std::clamp(
+            e->reward + e->discount * pass.target(r, 0), q_floor, q_ceil);
+      }
+      // TD forward+backward for both critics on this block's rows.
+      nn::prepare_pass(critic_.layers(), pass);
+      nn::copy_rows(batch_states_, rows, pass.in);
+      nn::copy_rows(batch_actions_, rows, pass.actions);
+      const nn::Tensor& q_values =
+          critic_.forward_shard(pass.in, pass.actions, pass);
+      pass.loss = nn::huber_loss_partial_into(q_values, pass.target, 10.0,
+                                              b_size, pass.loss_grad);
+      critic_.backward_shard(pass.in, pass.actions, pass.loss_grad, pass);
+      if (config_.twin_critics) {
+        nn::TrainPass& pass2 = critic2_passes_[m];
+        nn::prepare_pass(critic2_.layers(), pass2);
+        const nn::Tensor& q2_values =
+            critic2_.forward_shard(pass.in, pass.actions, pass2);
+        nn::huber_loss_partial_into(q2_values, pass.target, 10.0, b_size,
+                                    pass2.loss_grad);
+        critic2_.backward_shard(pass.in, pass.actions, pass2.loss_grad, pass2);
+      }
+    });
+    double critic_loss = 0.0;
+    for (std::size_t m = 0; m < blocks; ++m)
+      critic_loss += critic_passes_[m].loss;
+    nn::reduce_gradients(critic_passes_, blocks, critic_.layers());
     nn::clip_gradients(critic_.layers(), config_.grad_clip);
     critic_optimizer_.step(critic_.layers());
     critic_loss_sum += critic_loss;
 
     if (config_.twin_critics) {
-      critic2_.zero_grad();
-      const nn::Tensor& q2_values =
-          critic2_.forward(batch_states_, batch_actions_);
-      nn::huber_loss_into(q2_values, targets_, 10.0, loss_grad_);
-      critic2_.backward_into(loss_grad_, grad_states_, grad_actions_);
+      nn::reduce_gradients(critic2_passes_, blocks, critic2_.layers());
       nn::clip_gradients(critic2_.layers(), config_.grad_clip);
       critic2_optimizer_.step(critic2_.layers());
     }
@@ -397,24 +433,36 @@ double DdpgAgent::update(std::size_t count) {
         0)
       continue;
 
+    // The critic is only a conduit for dQ/da here: its per-block conduit
+    // gradients land in critic_passes_[m].grads and are simply never
+    // reduced, so the critic's own buffers stay untouched.
     actor_.zero_grad();
-    critic_.zero_grad();  // the critic is only a conduit for gradients here
-    const nn::Tensor& policy_actions = actor_.forward(batch_states_);
-    (void)critic_.forward(batch_states_, policy_actions);
-    grad_q_.resize(b_size, 1);
-    grad_q_.fill(-1.0 / static_cast<double>(b_size));  // maximise mean Q
-    critic_.backward_into(grad_q_, grad_states_, grad_actions_);
-    if (config_.actor_entropy_coef > 0.0) {
-      // loss += beta * sum_j a_j log a_j (negative entropy), averaged over
-      // the batch; d/da_j = beta * (log a_j + 1).
-      const double beta =
-          config_.actor_entropy_coef / static_cast<double>(b_size);
-      for (std::size_t b = 0; b < b_size; ++b)
-        for (std::size_t j = 0; j < action_dim_; ++j)
-          grad_actions_(b, j) +=
-              beta * (std::log(std::max(policy_actions(b, j), 1e-12)) + 1.0);
-    }
-    actor_.backward(grad_actions_);
+    nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
+      nn::TrainPass& apass = actor_passes_[m];
+      nn::TrainPass& cpass = critic_passes_[m];
+      const nn::RowRange rows = nn::row_block(b_size, m);
+      nn::prepare_pass(actor_.layers(), apass);
+      nn::prepare_pass(critic_.layers(), cpass);
+      nn::copy_rows(batch_states_, rows, apass.in);
+      const nn::Tensor& policy_actions =
+          actor_.forward_shard(apass.in, apass);
+      (void)critic_.forward_shard(apass.in, policy_actions, cpass);
+      cpass.loss_grad.resize(rows.size(), 1);
+      cpass.loss_grad.fill(-1.0 / static_cast<double>(b_size));  // max mean Q
+      critic_.backward_shard(apass.in, policy_actions, cpass.loss_grad, cpass);
+      if (config_.actor_entropy_coef > 0.0) {
+        // loss += beta * sum_j a_j log a_j (negative entropy), averaged over
+        // the batch; d/da_j = beta * (log a_j + 1).
+        const double beta =
+            config_.actor_entropy_coef / static_cast<double>(b_size);
+        for (std::size_t r = 0; r < rows.size(); ++r)
+          for (std::size_t j = 0; j < action_dim_; ++j)
+            cpass.grad_actions(r, j) +=
+                beta * (std::log(std::max(policy_actions(r, j), 1e-12)) + 1.0);
+      }
+      actor_.backward_shard(apass.in, cpass.grad_actions, apass);
+    });
+    nn::reduce_gradients(actor_passes_, blocks, actor_.layers());
     nn::clip_gradients(actor_.layers(), config_.grad_clip);
     actor_optimizer_.step(actor_.layers());
     if (config_.actor_logit_decay > 0.0) {
@@ -423,7 +471,6 @@ double DdpgAgent::update(std::size_t count) {
       head.weights() *= keep;
       head.bias() *= keep;
     }
-    critic_.zero_grad();  // drop the conduit gradients
 
     // ---- Target networks.
     actor_target_.soft_update_from(actor_, config_.tau);
@@ -451,14 +498,14 @@ void DdpgAgent::adapt_parameter_noise() {
   // Measure the action-space distance induced by the current perturbation
   // on a small probe batch, then steer sigma toward the target distance.
   const std::size_t probe = std::min<std::size_t>(16, replay_.size());
-  const auto batch = replay_.sample(probe, rng_);
-  normalize_states_into(batch, /*next=*/false, batch_states_);
+  replay_.sample_into(probe, rng_, batch_scratch_);
+  normalize_states_into(batch_scratch_, /*next=*/false, batch_states_);
   // ws_.c / ws_.d double as the clean/perturbed probe outputs here; the
   // refiner never shares this workspace.
   actor_.predict_batch(batch_states_, ws_, ws_.c);
   perturbed_actor_.predict_batch(batch_states_, ws_, ws_.d);
   double distance_sum = 0.0;
-  for (std::size_t b = 0; b < batch.size(); ++b) {
+  for (std::size_t b = 0; b < batch_scratch_.size(); ++b) {
     double sq = 0.0;
     for (std::size_t j = 0; j < action_dim_; ++j) {
       const double diff = ws_.c(b, j) - ws_.d(b, j);
@@ -466,7 +513,8 @@ void DdpgAgent::adapt_parameter_noise() {
     }
     distance_sum += std::sqrt(sq);
   }
-  parameter_noise_.adapt(distance_sum / static_cast<double>(batch.size()));
+  parameter_noise_.adapt(distance_sum /
+                         static_cast<double>(batch_scratch_.size()));
 }
 
 void DdpgAgent::refresh_perturbed_actor() {

@@ -17,9 +17,11 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "nn/critic_network.h"
 #include "nn/network.h"
 #include "nn/optimizer.h"
+#include "nn/train_shards.h"
 #include "nn/workspace.h"
 #include "rl/action.h"
 #include "rl/noise.h"
@@ -210,7 +212,20 @@ class DdpgAgent {
 
   /// Runs `count` gradient updates (no-ops while below warmup).
   /// Returns the mean critic loss over the updates that ran (0 if none).
+  ///
+  /// Every minibatch — target computation, critic TD steps, and the actor
+  /// ascent — runs through the canonical gradient-block path
+  /// (train_shards.h) whether or not a pool is attached, so the learned
+  /// weights are bit-identical across thread counts and shard schedules.
   double update(std::size_t count = 1);
+
+  /// Runs update() minibatches data-parallel on `pool` (nullptr reverts to
+  /// inline execution — same numbers either way). `shards` groups gradient
+  /// blocks into at most that many pool tasks (0 = one task per block); a
+  /// scheduling knob only, never affecting results. Deliberately not part
+  /// of the checkpoint state: checkpoints resume under any thread count.
+  void enable_parallel_training(common::ThreadPool* pool,
+                                std::size_t shards = 0);
 
   /// Resamples the parameter-noise perturbation (call at episode starts).
   void resample_exploration();
@@ -306,21 +321,25 @@ class DdpgAgent {
   std::size_t updates_performed_ = 0;
   std::size_t constraint_violations_ = 0;
 
-  // Update-loop scratch: the gradient updates are always serial, so one set
-  // of reused buffers makes the whole update step allocation-free at steady
-  // state (the minibatch shape is fixed).
+  // Parallel-training scheduling knobs (not serialised; see
+  // enable_parallel_training).
+  common::ThreadPool* pool_ = nullptr;
+  std::size_t grad_shards_ = 0;
+
+  // Update-loop scratch, reused across steps so the steady-state update
+  // path is allocation-free (the minibatch shape is fixed). The serial
+  // stage assembles the batch tensors; every gradient block then works
+  // exclusively inside its own TrainPass slot, so blocks never contend.
+  // critic_passes_ doubles as the target-stage staging and the actor
+  // stage's critic conduit (those grads are discarded, never reduced).
   nn::Workspace ws_;
   nn::Tensor batch_states_;
   nn::Tensor batch_next_states_;
   nn::Tensor batch_actions_;
-  nn::Tensor next_actions_;
-  nn::Tensor next_q_;
-  nn::Tensor next_q2_;
-  nn::Tensor targets_;
-  nn::Tensor loss_grad_;
-  nn::Tensor grad_q_;
-  nn::Tensor grad_states_;
-  nn::Tensor grad_actions_;
+  std::vector<const Experience*> batch_scratch_;
+  std::vector<nn::TrainPass> critic_passes_;
+  std::vector<nn::TrainPass> critic2_passes_;
+  std::vector<nn::TrainPass> actor_passes_;
   std::vector<double> act_scratch_;
 };
 

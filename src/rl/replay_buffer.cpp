@@ -23,16 +23,22 @@ void ReplayBuffer::add(Experience experience) {
 
 std::vector<const Experience*> ReplayBuffer::sample(std::size_t count,
                                                     Rng& rng) const {
+  std::vector<const Experience*> batch;
+  sample_into(count, rng, batch);
+  return batch;
+}
+
+void ReplayBuffer::sample_into(std::size_t count, Rng& rng,
+                               std::vector<const Experience*>& out) const {
   MIRAS_EXPECTS(count > 0);
   MIRAS_EXPECTS(!storage_.empty());
-  std::vector<const Experience*> batch;
-  batch.reserve(count);
+  out.clear();
+  out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const auto index = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(storage_.size()) - 1));
-    batch.push_back(&storage_[index]);
+    out.push_back(&storage_[index]);
   }
-  return batch;
 }
 
 const Experience& ReplayBuffer::operator[](std::size_t i) const {

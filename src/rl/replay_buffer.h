@@ -42,6 +42,12 @@ class ReplayBuffer {
   /// to callers, which divide by the batch size.
   std::vector<const Experience*> sample(std::size_t count, Rng& rng) const;
 
+  /// sample() writing into a caller-owned buffer (cleared and refilled):
+  /// the same rng draw sequence, zero steady-state allocations across
+  /// update steps.
+  void sample_into(std::size_t count, Rng& rng,
+                   std::vector<const Experience*>& out) const;
+
   const Experience& operator[](std::size_t i) const;
 
   void clear();

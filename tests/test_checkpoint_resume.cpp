@@ -166,6 +166,49 @@ TEST(CheckpointResume, HoldsAcrossLockstepWidths) {
   run_bit_identity_case("msd", /*parallel=*/true, /*lockstep_width=*/5);
 }
 
+TEST(CheckpointResume, ParallelTrainingResumesUnderDifferentThreadCount) {
+  // The gradient-block path makes the trained weights independent of the
+  // worker count (train_shards.h), so — unlike parallel *collection*, which
+  // must resume in the same mode — a run trained on an 8-thread pool may be
+  // checkpointed and resumed on a 2-thread pool (or inline) bit-identically.
+  const MirasConfig config = tiny_config("msd");
+  const std::string path = temp_path("train_threads.ckpt");
+  common::ThreadPool pool8(8);
+  common::ThreadPool pool2(2);
+
+  std::vector<IterationTrace> full_traces;
+  std::vector<double> full_actor_params;
+  {
+    sim::MicroserviceSystem system = make_system("msd");
+    MirasAgent agent(&system, config);
+    agent.enable_parallel_training(&pool8);
+    for (std::size_t i = 0; i < config.outer_iterations; ++i)
+      full_traces.push_back(agent.run_iteration());
+    full_actor_params = agent.ddpg().actor().get_parameters();
+  }
+
+  const std::size_t first_leg = config.outer_iterations / 2;
+  std::vector<IterationTrace> combined;
+  {
+    sim::MicroserviceSystem system = make_system("msd");
+    MirasAgent agent(&system, config);
+    agent.enable_parallel_training(&pool8);
+    for (std::size_t i = 0; i < first_leg; ++i)
+      combined.push_back(agent.run_iteration());
+    agent.save_checkpoint(path);
+  }  // fresh-process teardown
+
+  sim::MicroserviceSystem system = make_system("msd");
+  MirasAgent agent = MirasAgent::resume(&system, config, path);
+  agent.enable_parallel_training(&pool2);  // different thread count
+  for (std::size_t i = first_leg; i < config.outer_iterations; ++i)
+    combined.push_back(agent.run_iteration());
+
+  expect_traces_identical(combined, full_traces);
+  EXPECT_EQ(agent.ddpg().actor().get_parameters(), full_actor_params);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointResume, PendingWindowIsEmptyAtIterationBoundaries) {
   // The n-step maturation window is transient mid-episode state; every
   // episode boundary flushes it, so at the iteration boundary — the only

@@ -1,0 +1,332 @@
+// Deterministic data-parallel training (train_shards.h, DESIGN.md §5d):
+// the sharded gradient-block path must produce bit-identical weights for
+// every thread count and shard schedule, and the sharded backward must
+// agree with the serial member-cache backward and with finite differences.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "envmodel/dataset.h"
+#include "envmodel/dynamics_model.h"
+#include "envmodel/refiner.h"
+#include "nn/critic_network.h"
+#include "nn/grad_check.h"
+#include "nn/loss.h"
+#include "nn/network.h"
+#include "nn/train_shards.h"
+#include "rl/ddpg.h"
+
+namespace miras {
+namespace {
+
+envmodel::TransitionDataset make_dataset(std::size_t state_dim,
+                                         std::size_t action_dim,
+                                         std::size_t count,
+                                         std::uint64_t seed) {
+  envmodel::TransitionDataset data(state_dim, action_dim);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    envmodel::Transition t;
+    t.state.resize(state_dim);
+    for (double& s : t.state) s = rng.uniform(0.0, 30.0);
+    t.action.resize(action_dim);
+    for (int& a : t.action) a = static_cast<int>(rng.uniform_int(0, 3));
+    t.next_state.resize(state_dim);
+    for (std::size_t j = 0; j < state_dim; ++j) {
+      t.next_state[j] =
+          0.7 * t.state[j] + 0.2 * t.state[(j + 1) % state_dim] -
+          1.5 * t.action[j % action_dim] + rng.uniform(-0.3, 0.3);
+      if (t.next_state[j] < 0.0) t.next_state[j] = 0.0;
+    }
+    t.reward = -t.state[0];
+    data.add(std::move(t));
+  }
+  return data;
+}
+
+nn::Tensor random_tensor(std::size_t rows, std::size_t cols, Rng& rng) {
+  nn::Tensor t(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) t(i, j) = rng.uniform(-1.0, 1.0);
+  return t;
+}
+
+// Fitting the dynamics model must give the same weights and the same loss
+// whether it runs inline, on 2 workers, or on 8 workers, and for every
+// shard grouping — on both the MSD-shaped ({20, 20, 20}) and LIGO-shaped
+// ({20}) paper configurations.
+TEST(ParallelTraining, FitWeightsBitIdenticalAcrossThreadsAndShards) {
+  struct Case {
+    const char* name;
+    std::size_t dim;
+    std::vector<std::size_t> hidden;
+  };
+  const std::vector<Case> cases = {{"msd", 3, {20, 20, 20}},
+                                   {"ligo", 9, {20}}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto data = make_dataset(c.dim, c.dim, 300, 41);
+    envmodel::DynamicsModelConfig config;
+    config.hidden_dims = c.hidden;
+    config.epochs = 3;
+    config.seed = 5;
+
+    const auto run = [&](common::ThreadPool* pool, std::size_t shards) {
+      envmodel::DynamicsModel model(c.dim, c.dim, config);
+      model.enable_parallel_training(pool, shards);
+      const double loss = model.fit(data);
+      return std::make_pair(model.network().get_parameters(), loss);
+    };
+
+    const auto [base_params, base_loss] = run(nullptr, 0);
+    common::ThreadPool pool8(8);
+    common::ThreadPool pool2(2);
+    for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{4}, std::size_t{16}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards));
+      const auto [params8, loss8] = run(&pool8, shards);
+      EXPECT_EQ(params8, base_params);
+      EXPECT_EQ(loss8, base_loss);
+      const auto [params2, loss2] = run(&pool2, shards);
+      EXPECT_EQ(params2, base_params);
+      EXPECT_EQ(loss2, base_loss);
+    }
+  }
+}
+
+// The full DDPG update — target stage, twin-critic TD steps, delayed actor
+// ascent, soft updates — must leave every network bit-identical for every
+// thread count and shard schedule.
+TEST(ParallelTraining, DdpgUpdateBitIdenticalAcrossThreadsAndShards) {
+  rl::DdpgConfig config;
+  config.actor_hidden = {16, 16};
+  config.critic_hidden = {16, 16};
+  config.batch_size = 48;  // 3 gradient blocks per minibatch
+  config.warmup = 48;
+  config.seed = 3;
+
+  const auto run = [&](common::ThreadPool* pool, std::size_t shards) {
+    rl::DdpgAgent agent(4, 4, 12, config);
+    agent.enable_parallel_training(pool, shards);
+    Rng rng(7);
+    std::vector<double> s(4), s_next(4);
+    for (std::size_t i = 0; i < 96; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        s[j] = rng.uniform(0.0, 30.0);
+        s_next[j] = rng.uniform(0.0, 30.0);
+      }
+      const auto action = agent.act(s, /*explore=*/true);
+      agent.observe(s, action, rng.uniform(-4.0, 0.0), s_next);
+    }
+    const double loss = agent.update(12);
+    return std::make_tuple(agent.actor().get_parameters(),
+                           agent.critic().get_parameters(), loss);
+  };
+
+  const auto base = run(nullptr, 0);
+  common::ThreadPool pool8(8);
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{4}, std::size_t{16}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(run(&pool8, shards), base);
+  }
+  common::ThreadPool pool2(2);
+  EXPECT_EQ(run(&pool2, 0), base);
+}
+
+// Runs the sharded forward/backward over `x`/`target` and reduces into the
+// network's gradient buffers; returns the assembled dL/dx.
+nn::Tensor sharded_network_backward(nn::Network& net, const nn::Tensor& x,
+                                    const nn::Tensor& target) {
+  const std::size_t blocks = nn::num_row_blocks(x.rows());
+  std::vector<nn::TrainPass> passes(blocks);
+  nn::Tensor grad_input(x.rows(), x.cols());
+  net.zero_grad();
+  for (std::size_t m = 0; m < blocks; ++m) {
+    const nn::RowRange rows = nn::row_block(x.rows(), m);
+    nn::TrainPass& pass = passes[m];
+    nn::prepare_pass(net.layers(), pass);
+    nn::copy_rows(x, rows, pass.in);
+    nn::copy_rows(target, rows, pass.target);
+    const nn::Tensor& prediction = net.forward_shard(pass.in, pass);
+    pass.loss = nn::mse_loss_partial_into(prediction, pass.target,
+                                          x.rows() * target.cols(),
+                                          pass.loss_grad);
+    const nn::Tensor& block_grad =
+        net.backward_shard(pass.in, pass.loss_grad, pass);
+    nn::paste_rows(block_grad, rows, grad_input);
+  }
+  nn::reduce_gradients(passes, blocks, net.layers());
+  return grad_input;
+}
+
+// A single-block batch (B = kRowsPerBlock) must reproduce the serial
+// member-cache backward exactly; a multi-block batch regroups the same row
+// contributions, so its parameter gradients agree to rounding. The
+// assembled dL/dx is per-row and therefore always exact — and it must also
+// agree with finite differences.
+TEST(ParallelTraining, ShardedNetworkBackwardMatchesSerial) {
+  nn::MlpSpec spec;
+  spec.input_dim = 5;
+  spec.hidden_dims = {8, 7};
+  spec.output_dim = 4;
+  spec.hidden_activation = nn::Activation::kTanh;
+  spec.output_activation = nn::Activation::kIdentity;
+  Rng rng(11);
+  nn::Network net(spec, rng);
+
+  for (const std::size_t batch : {nn::kRowsPerBlock, std::size_t{40}}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    const nn::Tensor x = random_tensor(batch, spec.input_dim, rng);
+    const nn::Tensor target = random_tensor(batch, spec.output_dim, rng);
+
+    net.zero_grad();
+    nn::Tensor serial_loss_grad;
+    nn::mse_loss_into(net.forward(x), target, serial_loss_grad);
+    const nn::Tensor serial_grad_input = net.backward(serial_loss_grad);
+    std::vector<nn::Tensor> serial_wg, serial_bg;
+    for (const nn::DenseLayer& layer : net.layers()) {
+      serial_wg.push_back(layer.weight_grad());
+      serial_bg.push_back(layer.bias_grad());
+    }
+
+    const nn::Tensor sharded_grad_input =
+        sharded_network_backward(net, x, target);
+
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      SCOPED_TRACE("layer=" + std::to_string(l));
+      const nn::Tensor& wg = net.layer(l).weight_grad();
+      const nn::Tensor& bg = net.layer(l).bias_grad();
+      for (std::size_t i = 0; i < wg.rows(); ++i)
+        for (std::size_t j = 0; j < wg.cols(); ++j) {
+          if (batch == nn::kRowsPerBlock) {
+            EXPECT_EQ(wg(i, j), serial_wg[l](i, j));
+          } else {
+            EXPECT_NEAR(wg(i, j), serial_wg[l](i, j),
+                        1e-12 * std::max(1.0, std::abs(serial_wg[l](i, j))));
+          }
+        }
+      for (std::size_t j = 0; j < bg.cols(); ++j) {
+        if (batch == nn::kRowsPerBlock) {
+          EXPECT_EQ(bg(0, j), serial_bg[l](0, j));
+        } else {
+          EXPECT_NEAR(bg(0, j), serial_bg[l](0, j),
+                      1e-12 * std::max(1.0, std::abs(serial_bg[l](0, j))));
+        }
+      }
+    }
+    // dL/dx never crosses block boundaries: exact either way.
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      for (std::size_t j = 0; j < x.cols(); ++j)
+        EXPECT_EQ(sharded_grad_input(i, j), serial_grad_input(i, j));
+
+    const auto f = [&](const nn::Tensor& xx) {
+      return nn::mse_loss(net.predict(xx), target).value;
+    };
+    // The mean-loss scale (1 / (B * out_dim)) shrinks the true gradients,
+    // so finite-difference roundoff needs the looser relative bound.
+    EXPECT_LT(nn::max_gradient_error(f, x, sharded_grad_input, 1e-5), 1e-4);
+  }
+}
+
+// Same contract for the critic: sharded backward must reproduce the serial
+// member-cache parameter gradients and dQ/da (the policy-gradient signal).
+TEST(ParallelTraining, ShardedCriticBackwardMatchesSerial) {
+  nn::CriticSpec spec;
+  spec.state_dim = 5;
+  spec.action_dim = 3;
+  spec.hidden_dims = {8, 7, 6};
+  Rng rng(13);
+  nn::CriticNetwork critic(spec, rng);
+
+  for (const std::size_t batch : {nn::kRowsPerBlock, std::size_t{40}}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    const nn::Tensor states = random_tensor(batch, spec.state_dim, rng);
+    const nn::Tensor actions = random_tensor(batch, spec.action_dim, rng);
+    const nn::Tensor target = random_tensor(batch, 1, rng);
+
+    critic.zero_grad();
+    nn::Tensor serial_loss_grad;
+    nn::mse_loss_into(critic.forward(states, actions), target,
+                      serial_loss_grad);
+    nn::Tensor serial_grad_states, serial_grad_actions;
+    critic.backward_into(serial_loss_grad, serial_grad_states,
+                         serial_grad_actions);
+    std::vector<nn::Tensor> serial_wg;
+    for (const nn::DenseLayer& layer : critic.layers())
+      serial_wg.push_back(layer.weight_grad());
+
+    const std::size_t blocks = nn::num_row_blocks(batch);
+    std::vector<nn::TrainPass> passes(blocks);
+    nn::Tensor grad_actions(batch, spec.action_dim);
+    critic.zero_grad();
+    for (std::size_t m = 0; m < blocks; ++m) {
+      const nn::RowRange rows = nn::row_block(batch, m);
+      nn::TrainPass& pass = passes[m];
+      nn::prepare_pass(critic.layers(), pass);
+      nn::copy_rows(states, rows, pass.in);
+      nn::copy_rows(actions, rows, pass.actions);
+      nn::copy_rows(target, rows, pass.target);
+      const nn::Tensor& q = critic.forward_shard(pass.in, pass.actions, pass);
+      pass.loss =
+          nn::mse_loss_partial_into(q, pass.target, batch, pass.loss_grad);
+      critic.backward_shard(pass.in, pass.actions, pass.loss_grad, pass);
+      nn::paste_rows(pass.grad_actions, rows, grad_actions);
+    }
+    nn::reduce_gradients(passes, blocks, critic.layers());
+
+    for (std::size_t l = 0; l < critic.layers().size(); ++l) {
+      SCOPED_TRACE("layer=" + std::to_string(l));
+      const nn::Tensor& wg = critic.layers()[l].weight_grad();
+      for (std::size_t i = 0; i < wg.rows(); ++i)
+        for (std::size_t j = 0; j < wg.cols(); ++j) {
+          if (batch == nn::kRowsPerBlock) {
+            EXPECT_EQ(wg(i, j), serial_wg[l](i, j));
+          } else {
+            EXPECT_NEAR(wg(i, j), serial_wg[l](i, j),
+                        1e-12 * std::max(1.0, std::abs(serial_wg[l](i, j))));
+          }
+        }
+    }
+    // dQ/da is per-row: exact at every batch size, and it must agree with
+    // finite differences through the inference path.
+    for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t j = 0; j < spec.action_dim; ++j)
+        EXPECT_EQ(grad_actions(i, j), serial_grad_actions(i, j));
+
+    const auto f = [&](const nn::Tensor& a) {
+      return nn::mse_loss(critic.predict(states, a), target).value;
+    };
+    EXPECT_LT(nn::max_gradient_error(f, actions, grad_actions), 1e-5);
+  }
+}
+
+// The refiner's threshold fit is dimension-parallel; thresholds must not
+// depend on the pool.
+TEST(ParallelTraining, RefinerThresholdsBitIdenticalWithPool) {
+  const auto data = make_dataset(6, 6, 400, 29);
+  envmodel::DynamicsModelConfig config;
+  config.epochs = 2;
+  config.seed = 5;
+
+  const auto run = [&](common::ThreadPool* pool) {
+    envmodel::DynamicsModel model(6, 6, config);
+    model.enable_parallel_training(pool);
+    model.fit(data);
+    envmodel::ModelRefiner refiner(&model, envmodel::RefinerConfig{});
+    refiner.enable_parallel(pool);
+    refiner.fit_thresholds(data);
+    return std::make_pair(refiner.tau(), refiner.omega());
+  };
+
+  const auto base = run(nullptr);
+  common::ThreadPool pool8(8);
+  EXPECT_EQ(run(&pool8), base);
+}
+
+}  // namespace
+}  // namespace miras
