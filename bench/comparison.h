@@ -12,7 +12,6 @@
 #pragma once
 
 #include <functional>
-#include <future>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -91,7 +90,7 @@ inline void run_comparison(const ComparisonSetup& setup,
   std::unique_ptr<rl::DdpgAgent> mf_agent;
   {
     ScopedTimer timer(setup.name + " training", options.threads);
-    std::future<rl::DdpgAgent> mf_future;
+    common::TaskFuture<rl::DdpgAgent> mf_future;
     if (pool != nullptr)
       mf_future = pool->submit(train_mf);  // overlaps with the MIRAS training
     std::vector<core::IterationTrace> traces;

@@ -298,6 +298,7 @@ BENCHMARK(BM_PooledEpisodes)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -2,8 +2,8 @@
 // (google-benchmark): dynamics-model fit epochs and DDPG updates at 1/4/8
 // workers. The learned weights are bit-identical at every Arg value — only
 // the wall clock moves — and the steady-state sharded paths allocate
-// nothing (bytes_per_op 0 at Arg(1), where training runs inline without a
-// pool; the pool path pays only the pool's own dispatch allocations). Pass
+// nothing at *every* Arg value (bytes_per_op 0 inline and pooled: the
+// pool's `parallel_for` dispatch path is itself allocation-free). Pass
 // `--json <path>` to dump {op, ns_per_op, bytes_per_op, iterations} records
 // (the BENCH_train.json CI artifact).
 #include <benchmark/benchmark.h>

@@ -1,56 +1,41 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 
 #include "common/contracts.h"
 
 namespace miras::common {
 
-struct ThreadPool::LoopState {
-  std::size_t count = 0;
-  std::function<void(std::size_t)> body;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> active{0};
-  std::mutex mutex;
-  std::condition_variable done;
-  std::exception_ptr error;  // first failure wins, guarded by mutex
+namespace {
 
-  // Claims and runs indices until none remain (or a body failed). Every
-  // participant — workers and the calling thread alike — runs this same
-  // loop, so progress never depends on a worker being free. A runner that
-  // starts after the loop is drained (a queued helper stuck behind a long
-  // unrelated task) just no-ops; the caller never waits for it.
-  //
-  // The active/next operations are seq_cst on purpose: a runner increments
-  // `active` before claiming from `next`, and the caller may only observe
-  // active == 0 after draining `next` itself — under the single total
-  // order, any runner ordered after that observation must then see
-  // next >= count and cannot start a body the caller no longer waits for.
-  void run() {
-    active.fetch_add(1);
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= count) break;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (!error) error = std::current_exception();
-        // Stop handing out new indices; in-flight bodies finish naturally.
-        next.store(count);
-      }
-    }
-    if (active.fetch_sub(1) == 1) {
-      std::lock_guard<std::mutex> lock(mutex);
-      done.notify_all();
-    }
-  }
-};
+// One busy-wait step. On x86 `pause` keeps the spin from starving the
+// sibling hyperthread; elsewhere fall back to a scheduler hint.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+constexpr int kDoneSpins = 4096;
+constexpr std::size_t kWorkerSpins = 8192;
+
+}  // namespace
+
+int& ThreadPool::loop_depth() {
+  static thread_local int depth = 0;
+  return depth;
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t count = std::max<std::size_t>(threads, 1);
+  // Spinning before parking only pays when each thread (workers plus the
+  // caller) can own a core; on an oversubscribed machine it would steal
+  // cycles from whichever thread holds the actual work.
+  spin_iterations_ = (count + 1 <= hardware_threads()) ? kWorkerSpins : 0;
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -58,11 +43,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
-  available_.notify_all();
+  wake_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Workers drain the task queue before exiting, so nothing is left here.
+  MIRAS_EXPECTS(tasks_head_ == nullptr);
 }
 
 std::size_t ThreadPool::hardware_threads() {
@@ -70,46 +57,167 @@ std::size_t ThreadPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
-void ThreadPool::enqueue(std::function<void()> task) {
+void ThreadPool::enqueue(pool_detail::TaskNode* task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MIRAS_EXPECTS(!stopping_);
-    queue_.push(std::move(task));
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    MIRAS_EXPECTS(!stopping_.load(std::memory_order_relaxed));
+    if (tasks_tail_ == nullptr) {
+      tasks_head_ = tasks_tail_ = task;
+    } else {
+      tasks_tail_->next = task;
+      tasks_tail_ = task;
+    }
+    tasks_pending_.fetch_add(1, std::memory_order_relaxed);
   }
-  available_.notify_one();
+  // One task, one wakeup — notify_all here made submit cost grow with the
+  // worker count (the whole herd woke to fight over a single queue entry).
+  wake_cv_.notify_one();
+}
+
+pool_detail::TaskNode* ThreadPool::try_pop_task() {
+  if (tasks_pending_.load(std::memory_order_acquire) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  pool_detail::TaskNode* task = tasks_head_;
+  if (task == nullptr) return nullptr;
+  tasks_head_ = task->next;
+  if (tasks_head_ == nullptr) tasks_tail_ = nullptr;
+  tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
+  return task;
+}
+
+// The staging protocol pairs with participate(): fields of loop_ may only
+// be written while `gen` is odd *and* `active` is zero. A participant
+// increments `active` first and validates `gen` second, so whichever side
+// loses the race backs off — the participant no-ops on an odd generation,
+// and the stager waits out any participant that got in before the flip.
+void ThreadPool::run_loop(std::size_t count, std::size_t chunk, RangeFn fn,
+                          void* ctx) {
+  std::lock_guard<std::mutex> serialize(loop_mutex_);
+  Loop& loop = loop_;
+
+  const std::uint64_t staged = loop.gen.load(std::memory_order_relaxed) + 1;
+  loop.gen.store(staged, std::memory_order_seq_cst);  // odd: staging
+  while (loop.active.load(std::memory_order_seq_cst) != 0) cpu_relax();
+
+  loop.count = count;
+  loop.chunk = chunk;
+  loop.run_range = fn;
+  loop.ctx = ctx;
+  loop.error = nullptr;
+  loop.next.store(0, std::memory_order_relaxed);
+  {
+    // Published under wake_mutex_ so a parking worker cannot miss it.
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    loop.gen.store(staged + 1, std::memory_order_release);  // even: live
+  }
+  wake_cv_.notify_all();
+
+  participate(loop);
+  wait_done(loop);
+
+  if (loop.error) {
+    std::exception_ptr error = loop.error;
+    loop.error = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::participate(Loop& loop) {
+  // seq_cst on active/next on purpose: a participant registers in `active`
+  // before claiming from `next`, and the caller only observes active == 0
+  // after draining `next` itself — under the single total order, any
+  // participant ordered after that observation must see next >= count and
+  // cannot start a body the caller no longer waits for.
+  loop.active.fetch_add(1, std::memory_order_seq_cst);
+  if (loop.gen.load(std::memory_order_seq_cst) & 1) {
+    // Staging in progress — the fields are not ours to read.
+    finish_participation(loop);
+    return;
+  }
+  const std::size_t count = loop.count;
+  const std::size_t chunk = loop.chunk;
+  ++loop_depth();
+  for (;;) {
+    const std::size_t begin = loop.next.fetch_add(chunk);
+    if (begin >= count) break;
+    const std::size_t end = std::min(begin + chunk, count);
+    try {
+      loop.run_range(loop.ctx, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(loop.error_mutex);
+      if (!loop.error) loop.error = std::current_exception();
+      // Stop handing out indices; in-flight chunks finish naturally.
+      loop.next.store(count);
+    }
+  }
+  --loop_depth();
+  finish_participation(loop);
+}
+
+void ThreadPool::finish_participation(Loop& loop) {
+  if (loop.active.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_done(Loop& loop) {
+  // The common case: stragglers are mid-chunk and finish within
+  // microseconds, so spin briefly before paying for a futex sleep.
+  for (int i = 0; i < kDoneSpins; ++i) {
+    if (loop.active.load(std::memory_order_seq_cst) == 0) return;
+    cpu_relax();
+  }
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [&] {
+    return loop.active.load(std::memory_order_seq_cst) == 0;
+  });
+}
+
+bool ThreadPool::spin_for_work(std::uint64_t seen) const {
+  for (std::size_t i = 0; i < spin_iterations_; ++i) {
+    const std::uint64_t gen = loop_.gen.load(std::memory_order_acquire);
+    if ((gen != seen && (gen & 1) == 0) ||
+        tasks_pending_.load(std::memory_order_acquire) != 0 ||
+        stopping_.load(std::memory_order_acquire))
+      return true;
+    cpu_relax();
+  }
+  return false;
+}
+
+void ThreadPool::park(std::uint64_t seen) {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  wake_cv_.wait(lock, [&] {
+    const std::uint64_t gen = loop_.gen.load(std::memory_order_acquire);
+    return (gen != seen && (gen & 1) == 0) ||
+           tasks_pending_.load(std::memory_order_relaxed) != 0 ||
+           stopping_.load(std::memory_order_relaxed);
+  });
 }
 
 void ThreadPool::worker_loop() {
+  // Generation of the last loop this worker joined; a changed even value
+  // means a new loop was published. Generations are monotonic, so there is
+  // no ABA hazard, and joining is best-effort — a worker that arrives after
+  // the loop drained simply claims nothing.
+  std::uint64_t seen = 0;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop();
+    const std::uint64_t gen = loop_.gen.load(std::memory_order_acquire);
+    if (gen != seen && (gen & 1) == 0) {
+      seen = gen;
+      participate(loop_);
+      continue;
     }
-    task();
+    if (pool_detail::TaskNode* task = try_pop_task()) {
+      task->run();
+      task->release();
+      continue;
+    }
+    // Tasks are drained before shutdown completes (checked above first).
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (!spin_for_work(seen)) park(seen);
   }
-}
-
-void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  auto state = std::make_shared<LoopState>();
-  state->count = count;
-  state->body = body;
-
-  // One runner per worker that could usefully help; the calling thread is
-  // the final participant, so even a fully busy pool completes the loop.
-  const std::size_t helpers = std::min(workers_.size(), count - 1);
-  for (std::size_t h = 0; h < helpers; ++h)
-    enqueue([state] { state->run(); });
-  state->run();
-
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] { return state->active.load() == 0; });
-  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace miras::common

@@ -1,33 +1,50 @@
-// Fixed-size worker pool with a deterministic parallel_for.
+// Fixed-size worker pool with a deterministic, allocation-free parallel_for.
 //
 // The pool exists to make the embarrassingly parallel parts of the stack
-// (evaluation grids, episode collection, synthetic rollouts) scale with the
+// (evaluation grids, episode collection, gradient blocks) scale with the
 // machine *without* giving up the bit-for-bit reproducibility contract:
 //
 //  - parallel_for assigns work by *index*, and callers are expected to
 //    derive any per-unit randomness from (root_seed, index) via shard_seed()
 //    and to write results into preallocated index slots. The decomposition
-//    then fixes every random stream and every merge order, so worker count
-//    and scheduling cannot change the result.
-//  - The calling thread participates in parallel_for (it claims indices
-//    alongside the workers), which makes nested parallel_for calls from
-//    inside pool tasks deadlock-free by construction: even with every
-//    worker busy, the nested caller drains its own loop.
+//    then fixes every random stream and every merge order, so worker count,
+//    chunk size, and scheduling cannot change the result.
+//  - The calling thread participates in parallel_for (it claims index
+//    chunks alongside the workers), so even a fully busy pool completes
+//    every loop. A parallel_for issued from *inside* a loop body runs
+//    inline on the calling thread (still ascending order), which makes
+//    nested use deadlock-free by construction.
 //
-// submit() is a conventional future-returning escape hatch for coarse
-// one-off tasks (e.g. "train these two agents concurrently"). Blocking on a
-// future *from inside a pool task* can deadlock a fully loaded pool; prefer
-// nested parallel_for, or consume futures only from threads that do not
-// live in the pool.
+// Dispatch path (the part PR 6 rewrote): workers are persistent and park on
+// one condition variable. A parallel_for publishes its loop — count, chunk
+// size, body — into a single pool-owned slot guarded by a generation
+// counter (odd = being staged, even = live), wakes the workers once, and
+// everyone claims contiguous index chunks from one atomic counter. No task
+// queue, no per-call heap traffic, no per-task wakeups: a loop costs one
+// notify_all and one atomic fetch_add per chunk. The previous design
+// enqueued a heap-allocated std::function per helper through a mutexed
+// queue (~168 B and 2-3 us per task, rising with worker count), which
+// dominated sub-millisecond loop bodies.
+//
+// submit() is a future-returning escape hatch for coarse one-off tasks
+// (e.g. "train these two agents concurrently"); it performs exactly one
+// heap allocation (the task node doubles as the future's shared state).
+// Blocking on a future *from inside a pool task* can deadlock a fully
+// loaded pool; prefer nested parallel_for, or consume futures only from
+// threads that do not live in the pool. A parallel_for waits for every
+// worker that joins its loop, so a worker stuck in a long submitted task
+// delays loops only if it joins mid-flight (it cannot: it checks in only
+// between tasks).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
-#include <future>
+#include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
-#include <queue>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -35,11 +52,103 @@
 
 namespace miras::common {
 
+namespace pool_detail {
+
+/// Single-allocation task record shared by submit() and TaskFuture: the
+/// callable, the result slot, the ready latch, and the intrusive queue link
+/// live in one heap object. Two references: the queue/worker and the future.
+struct TaskNode {
+  std::atomic<int> refs{2};
+  std::atomic<bool> ready{false};
+  std::exception_ptr error;
+  TaskNode* next = nullptr;
+
+  virtual ~TaskNode() = default;
+  virtual void run() noexcept = 0;
+
+  void release() {
+    if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+  void mark_ready() {
+    ready.store(true, std::memory_order_release);
+    ready.notify_all();
+  }
+  void wait_ready() const { ready.wait(false, std::memory_order_acquire); }
+};
+
+template <typename R>
+struct TaskResult : TaskNode {
+  std::optional<R> value;
+};
+
+template <>
+struct TaskResult<void> : TaskNode {};
+
+template <typename Fn, typename R>
+struct TaskImpl final : TaskResult<R> {
+  Fn fn;
+  explicit TaskImpl(Fn f) : fn(std::move(f)) {}
+  void run() noexcept override {
+    try {
+      if constexpr (std::is_void_v<R>) {
+        fn();
+      } else {
+        this->value.emplace(fn());
+      }
+    } catch (...) {
+      this->error = std::current_exception();
+    }
+    this->mark_ready();
+  }
+};
+
+}  // namespace pool_detail
+
+/// Future returned by ThreadPool::submit. Move-only; get() blocks until the
+/// task ran, then returns its result or rethrows its exception. Unlike
+/// std::future this shares a single heap object with the task itself.
+template <typename R>
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+  explicit TaskFuture(pool_detail::TaskResult<R>* state) : state_(state) {}
+  TaskFuture(TaskFuture&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  TaskFuture& operator=(TaskFuture&& other) noexcept {
+    if (this != &other) {
+      if (state_ != nullptr) state_->release();
+      state_ = other.state_;
+      other.state_ = nullptr;
+    }
+    return *this;
+  }
+  TaskFuture(const TaskFuture&) = delete;
+  TaskFuture& operator=(const TaskFuture&) = delete;
+  ~TaskFuture() {
+    if (state_ != nullptr) state_->release();
+  }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the task finished; rethrows the task's exception if it
+  /// threw, otherwise returns its result.
+  R get() {
+    state_->wait_ready();
+    if (state_->error) std::rethrow_exception(state_->error);
+    if constexpr (!std::is_void_v<R>) return std::move(*state_->value);
+  }
+
+ private:
+  pool_detail::TaskResult<R>* state_ = nullptr;
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers (at least one). `ThreadPool(1)` behaves like a
   /// serial executor with the same task ordering guarantees, which is what
-  /// `--threads 1` maps to.
+  /// `--threads 1` maps to: parallel_for runs inline on the caller and the
+  /// single worker only serves submit().
   explicit ThreadPool(std::size_t threads);
   ~ThreadPool();
 
@@ -52,37 +161,102 @@ class ThreadPool {
   static std::size_t hardware_threads();
 
   /// Enqueues `fn` and returns its future. Exceptions thrown by `fn` are
-  /// captured and rethrown from future::get().
+  /// captured and rethrown from TaskFuture::get(). One heap allocation.
   template <typename Fn, typename R = std::invoke_result_t<std::decay_t<Fn>>>
-  std::future<R> submit(Fn&& fn) {
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
-    std::future<R> future = task->get_future();
-    enqueue([task] { (*task)(); });
-    return future;
+  TaskFuture<R> submit(Fn&& fn) {
+    auto* node =
+        new pool_detail::TaskImpl<std::decay_t<Fn>, R>(std::forward<Fn>(fn));
+    enqueue(node);
+    return TaskFuture<R>(node);
   }
 
   /// Runs body(0) .. body(count-1), each exactly once, distributed over the
-  /// workers *and* the calling thread. Returns when every index has
-  /// finished. The first exception thrown by any body is rethrown here
-  /// (remaining unclaimed indices are abandoned). Safe to call from inside
-  /// a pool task (nested loops make progress on the nested caller).
-  void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& body);
+  /// workers *and* the calling thread in contiguous chunks of `chunk`
+  /// indices claimed from one atomic counter (chunk 0 picks a default sized
+  /// to the worker count). Returns when every index has finished. The first
+  /// exception thrown by any body is rethrown here (remaining unclaimed
+  /// indices are abandoned). Results never depend on chunk size or worker
+  /// count (per-index slot contract above). Safe to call from inside a loop
+  /// body or with a single-worker pool — those cases run inline, in
+  /// ascending index order, with zero dispatch cost. No heap allocations on
+  /// any path: the body is passed by reference, not type-erased.
+  template <typename Body>
+  void parallel_for(std::size_t count, Body&& body, std::size_t chunk = 0) {
+    if (count == 0) return;
+    if (workers_.size() <= 1 || count == 1 || loop_depth() > 0) {
+      for (std::size_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    using Stored = std::remove_reference_t<Body>;
+    run_loop(count, chunk != 0 ? chunk : default_chunk(count),
+             [](void* ctx, std::size_t begin, std::size_t end) {
+               auto& fn = *static_cast<Stored*>(ctx);
+               for (std::size_t i = begin; i < end; ++i) fn(i);
+             },
+             const_cast<void*>(
+                 static_cast<const void*>(std::addressof(body))));
+  }
 
  private:
-  // Shared state of one parallel_for call. Runner tasks may outlive the
-  // call itself (they no-op once every index is claimed), so the state is
-  // owned by shared_ptr.
-  struct LoopState;
+  using RangeFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
 
-  void enqueue(std::function<void()> task);
+  // The one live loop. Fields other than the atomics are written only while
+  // `gen` is odd and `active` is zero (no participant inside), and read only
+  // by participants that incremented `active` and then observed an even
+  // `gen` — the staging thread cannot proceed past its active==0 wait while
+  // any such participant is still running.
+  struct Loop {
+    alignas(64) std::atomic<std::uint64_t> gen{0};  // odd = staging
+    alignas(64) std::atomic<std::size_t> next{0};   // chunk claim counter
+    alignas(64) std::atomic<std::size_t> active{0};
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    RangeFn run_range = nullptr;
+    void* ctx = nullptr;
+    std::mutex error_mutex;
+    std::exception_ptr error;  // first failure wins
+  };
+
+  std::size_t default_chunk(std::size_t count) const {
+    const std::size_t parts = 4 * (workers_.size() + 1);
+    return count > parts ? count / parts : 1;
+  }
+
+  // Per-thread nesting depth of loop bodies (shared across pools; a nested
+  // parallel_for on any pool runs inline rather than re-entering dispatch).
+  static int& loop_depth();
+
+  void run_loop(std::size_t count, std::size_t chunk, RangeFn fn, void* ctx);
+  void participate(Loop& loop);
+  void finish_participation(Loop& loop);
+  void wait_done(Loop& loop);
+  void enqueue(pool_detail::TaskNode* task);
+  pool_detail::TaskNode* try_pop_task();
   void worker_loop();
+  bool spin_for_work(std::uint64_t seen) const;
+  void park(std::uint64_t seen);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable available_;
-  bool stopping_ = false;
+  Loop loop_;
+  // Serialises top-level parallel_for calls (one live loop slot).
+  std::mutex loop_mutex_;
+  // Worker parking: predicate covers a new loop generation, pending tasks,
+  // and shutdown. The loop generation is published under this mutex so a
+  // parking worker can never miss a wakeup.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  // Caller-side completion parking (active == 0).
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  // Intrusive task queue (head/tail guarded by wake_mutex_).
+  pool_detail::TaskNode* tasks_head_ = nullptr;
+  pool_detail::TaskNode* tasks_tail_ = nullptr;
+  std::atomic<int> tasks_pending_{0};
+  std::atomic<bool> stopping_{false};
+  // Busy-wait iterations before a worker parks; zero when the pool would
+  // oversubscribe the machine (spinning then only steals cycles from the
+  // thread doing real work).
+  std::size_t spin_iterations_ = 0;
 };
 
 }  // namespace miras::common

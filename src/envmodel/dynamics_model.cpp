@@ -137,7 +137,6 @@ double DynamicsModel::fit(const TransitionDataset& data) {
       const std::size_t batch = std::min(config_.batch_size, n - start);
       const std::size_t blocks = nn::num_row_blocks(batch);
       if (passes_.size() < blocks) passes_.resize(blocks);
-      network_.zero_grad();
       nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
         nn::TrainPass& pass = passes_[m];
         const nn::RowRange rows = nn::row_block(batch, m);
@@ -160,9 +159,9 @@ double DynamicsModel::fit(const TransitionDataset& data) {
       });
       double loss = 0.0;
       for (std::size_t m = 0; m < blocks; ++m) loss += passes_[m].loss;
-      nn::reduce_gradients(passes_, blocks, network_.layers());
-      nn::clip_gradients(network_.layers(), config_.grad_clip);
-      optimizer_.step(network_.layers());
+      // Fused zero + reduce + clip + step: one serial tail per minibatch
+      // (bit-identical to the unfused sequence, see sharded_adam_step).
+      network_.sharded_update(passes_, blocks, config_.grad_clip, optimizer_);
       epoch_loss += loss;
       ++num_batches;
     }

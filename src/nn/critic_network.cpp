@@ -172,6 +172,12 @@ void CriticNetwork::backward_shard(const Tensor& states, const Tensor& actions,
                             pass.grads[0], pass.grad_pre, pass.bwd_a);
 }
 
+double CriticNetwork::sharded_update(const std::vector<TrainPass>& passes,
+                                     std::size_t count, double max_norm,
+                                     AdamOptimizer& optimizer) {
+  return sharded_adam_step(passes, count, layers_, max_norm, optimizer);
+}
+
 void CriticNetwork::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();
 }

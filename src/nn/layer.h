@@ -21,8 +21,9 @@ namespace miras::nn {
 /// training path (train_shards.h), where every gradient block accumulates
 /// into its own LayerGrad and the blocks are reduced in fixed order into the
 /// layer's own weight_grad()/bias_grad() buffers. Shapes mirror the layer's
-/// parameters.
-struct LayerGrad {
+/// parameters. Cache-line aligned so adjacent blocks' accumulators never
+/// share a line when blocks run on different cores.
+struct alignas(64) LayerGrad {
   Tensor weight;  // in_dim x out_dim
   Tensor bias;    // 1 x out_dim
 };

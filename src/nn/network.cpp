@@ -113,6 +113,12 @@ const Tensor& Network::backward_shard(const Tensor& x,
   return *g;
 }
 
+double Network::sharded_update(const std::vector<TrainPass>& passes,
+                               std::size_t count, double max_norm,
+                               AdamOptimizer& optimizer) {
+  return sharded_adam_step(passes, count, layers_, max_norm, optimizer);
+}
+
 void Network::zero_grad() {
   for (auto& layer : layers_) layer.zero_grad();
 }

@@ -94,6 +94,14 @@ class Network {
   const Tensor& backward_shard(const Tensor& x, const Tensor& grad_output,
                                TrainPass& pass) const;
 
+  /// Fused tail of one sharded update: reduce passes[0..count), clip the
+  /// global gradient norm to `max_norm`, one Adam step (sharded_adam_step,
+  /// train_shards.h). Returns the pre-clip norm. The zero_grad is folded
+  /// in — callers do not zero between minibatches.
+  double sharded_update(const std::vector<TrainPass>& passes,
+                        std::size_t count, double max_norm,
+                        AdamOptimizer& optimizer);
+
   void zero_grad();
 
   /// Total scalar parameter count.

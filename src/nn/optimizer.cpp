@@ -59,6 +59,11 @@ AdamOptimizer::AdamOptimizer(double learning_rate, double beta1, double beta2,
 }
 
 void AdamOptimizer::step(std::vector<DenseLayer>& layers) {
+  step_scaled(layers, 1.0);
+}
+
+void AdamOptimizer::step_scaled(std::vector<DenseLayer>& layers,
+                                double scale) {
   ensure_state(weight_m_, bias_m_, layers);
   ensure_state(weight_v_, bias_v_, layers);
   ++t_;
@@ -67,7 +72,10 @@ void AdamOptimizer::step(std::vector<DenseLayer>& layers) {
   for (std::size_t l = 0; l < layers.size(); ++l) {
     auto update = [&](Tensor& param, const Tensor& grad, Tensor& m, Tensor& v) {
       for (std::size_t i = 0; i < param.size(); ++i) {
-        const double g = grad.data()[i];
+        // The branch (rather than an unconditional multiply) keeps the
+        // unclipped path reading the exact stored gradient bits.
+        const double g =
+            scale == 1.0 ? grad.data()[i] : grad.data()[i] * scale;
         m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * g;
         v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * g * g;
         const double m_hat = m.data()[i] / bias1;

@@ -49,6 +49,14 @@ class AdamOptimizer final : public Optimizer {
   explicit AdamOptimizer(double learning_rate, double beta1 = 0.9,
                          double beta2 = 0.999, double epsilon = 1e-8);
   void step(std::vector<DenseLayer>& layers) override;
+
+  /// step() with every gradient scaled by `scale` on the fly — the fused
+  /// form of "clip then step" used by sharded_adam_step (train_shards.h):
+  /// scaling inside the update loop replaces a separate write-back pass
+  /// over all gradient buffers. scale == 1.0 reads the gradients untouched,
+  /// so step(layers) ≡ step_scaled(layers, 1.0) bit for bit.
+  void step_scaled(std::vector<DenseLayer>& layers, double scale);
+
   void reset() override;
 
   /// Snapshot/restore of the mutable optimiser state (step counter and

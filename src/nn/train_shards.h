@@ -36,6 +36,8 @@
 
 namespace miras::nn {
 
+class AdamOptimizer;
+
 /// Fixed gradient-block granularity (rows). The canonical accumulation
 /// grouping is defined at this granularity, NOT at the shard count, so the
 /// numbers cannot depend on how blocks are packed onto pool tasks.
@@ -66,8 +68,11 @@ inline RowRange row_block(std::size_t rows, std::size_t m) {
 /// Caller-owned state for one gradient block of one network: per-layer
 /// forward caches, per-layer gradient accumulators, backward scratch, and
 /// block staging tensors for the enclosing training loop. Buffers are
-/// reused across minibatches (zero steady-state allocations).
-struct TrainPass {
+/// reused across minibatches (zero steady-state allocations). Cache-line
+/// aligned: the training loops keep passes in one contiguous vector indexed
+/// by block, and concurrent blocks must not share a line through the
+/// neighbouring pass's `loss` / tensor headers.
+struct alignas(64) TrainPass {
   // Per-layer forward caches (index = layer).
   std::vector<Tensor> pre;
   std::vector<Tensor> post;
@@ -110,14 +115,28 @@ void prepare_pass(const std::vector<DenseLayer>& layers, TrainPass& pass);
 void reduce_gradients(const std::vector<TrainPass>& passes, std::size_t count,
                       std::vector<DenseLayer>& layers);
 
+/// The fused serial tail of one sharded update: zeroes the layers' gradient
+/// buffers, reduces passes[0..count) into them in ascending block order,
+/// computes the global gradient L2 norm, and applies one clipped Adam step.
+/// Bit-identical to zero_grad + reduce_gradients + clip_gradients + step —
+/// per element the add chain, the norm accumulation order (layer by layer,
+/// weights then bias), and the clip-scale arithmetic are unchanged — but it
+/// walks the parameters twice (reduce+norm, then scale+step) instead of
+/// five times, so the serial section between pool barriers shrinks.
+/// Returns the pre-clip norm.
+double sharded_adam_step(const std::vector<TrainPass>& passes,
+                         std::size_t count, std::vector<DenseLayer>& layers,
+                         double max_norm, AdamOptimizer& optimizer);
+
 /// Runs body(m) for every block index in [0, blocks): inline in ascending
-/// order without a pool, otherwise grouped into `shards` contiguous pool
-/// tasks (0 = one task per block), each processing its blocks in ascending
-/// order. Every block writes only its own TrainPass / row slots, so the
-/// grouping and the thread count are invisible in the results. A template
-/// so the no-pool path never touches std::function — the inline loop stays
-/// allocation-free (the pool path type-erases, which is where the pool's
-/// own dispatch allocations already live).
+/// order without a pool, otherwise distributed over the pool. `shards == 0`
+/// is the auto schedule: blocks are claimed in chunks sized to the pool's
+/// thread count (ThreadPool::parallel_for's default chunking), so many
+/// blocks ride on one dispatch without fixing the grouping in advance.
+/// `shards > 0` pins the grouping to exactly `shards` contiguous ranges.
+/// Either way every block writes only its own TrainPass / row slots, so the
+/// schedule and the thread count are invisible in the results, and no path
+/// allocates — parallel_for passes the body by reference.
 template <typename Body>
 void for_each_block(common::ThreadPool* pool, std::size_t blocks,
                     std::size_t shards, Body&& body) {

@@ -363,8 +363,6 @@ double DdpgAgent::update(std::size_t count) {
     // kernel invariant) and then runs the TD forward+backward into its
     // TrainPass; block gradients reduce in ascending order before one
     // optimizer step, so the pool never shows in the weights.
-    critic_.zero_grad();
-    if (config_.twin_critics) critic2_.zero_grad();
     nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
       nn::TrainPass& pass = critic_passes_[m];
       const nn::RowRange rows = nn::row_block(b_size, m);
@@ -414,16 +412,15 @@ double DdpgAgent::update(std::size_t count) {
     double critic_loss = 0.0;
     for (std::size_t m = 0; m < blocks; ++m)
       critic_loss += critic_passes_[m].loss;
-    nn::reduce_gradients(critic_passes_, blocks, critic_.layers());
-    nn::clip_gradients(critic_.layers(), config_.grad_clip);
-    critic_optimizer_.step(critic_.layers());
+    // Fused zero + reduce + clip + step per critic: one serial tail between
+    // pool barriers instead of three full parameter walks each.
+    critic_.sharded_update(critic_passes_, blocks, config_.grad_clip,
+                           critic_optimizer_);
     critic_loss_sum += critic_loss;
 
-    if (config_.twin_critics) {
-      nn::reduce_gradients(critic2_passes_, blocks, critic2_.layers());
-      nn::clip_gradients(critic2_.layers(), config_.grad_clip);
-      critic2_optimizer_.step(critic2_.layers());
-    }
+    if (config_.twin_critics)
+      critic2_.sharded_update(critic2_passes_, blocks, config_.grad_clip,
+                              critic2_optimizer_);
 
     ++updates_performed_;
     ++ran;
@@ -436,7 +433,6 @@ double DdpgAgent::update(std::size_t count) {
     // The critic is only a conduit for dQ/da here: its per-block conduit
     // gradients land in critic_passes_[m].grads and are simply never
     // reduced, so the critic's own buffers stay untouched.
-    actor_.zero_grad();
     nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
       nn::TrainPass& apass = actor_passes_[m];
       nn::TrainPass& cpass = critic_passes_[m];
@@ -462,9 +458,8 @@ double DdpgAgent::update(std::size_t count) {
       }
       actor_.backward_shard(apass.in, cpass.grad_actions, apass);
     });
-    nn::reduce_gradients(actor_passes_, blocks, actor_.layers());
-    nn::clip_gradients(actor_.layers(), config_.grad_clip);
-    actor_optimizer_.step(actor_.layers());
+    actor_.sharded_update(actor_passes_, blocks, config_.grad_clip,
+                          actor_optimizer_);
     if (config_.actor_logit_decay > 0.0) {
       nn::DenseLayer& head = actor_.layers().back();
       const double keep = 1.0 - config_.actor_logit_decay;

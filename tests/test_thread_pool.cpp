@@ -9,6 +9,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -146,6 +147,103 @@ TEST(ThreadPool, SeedShardedWorkIsIdenticalForAnyWorkerCount) {
   const std::vector<double> a = sharded_draws(one, 99, 64);
   const std::vector<double> b = sharded_draws(eight, 99, 64);
   EXPECT_EQ(a, b);  // exact: same bits, not just close
+}
+
+TEST(ThreadPool, ChunkedClaimingIsDeterministicAcrossChunkSizes) {
+  // The chunk size is a pure dispatch knob: any chunk size on any worker
+  // count must produce the serial result bit for bit.
+  ThreadPool serial(1);
+  const std::vector<double> reference = sharded_draws(serial, 7, 96);
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    ThreadPool pool(workers);
+    for (const std::size_t chunk : {1u, 3u, 16u, 64u, 1000u}) {
+      std::vector<double> results(96);
+      pool.parallel_for(
+          96,
+          [&](std::size_t i) {
+            Rng rng(shard_seed(7, i));
+            double total = 0.0;
+            for (int k = 0; k < 100; ++k) total += rng.normal();
+            results[i] = total;
+          },
+          chunk);
+      EXPECT_EQ(results, reference)
+          << "workers=" << workers << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedClaimingRethrowsFirstAndAbandonsRemainder) {
+  // A body failure must surface as exactly one rethrown exception, and the
+  // unclaimed tail of the index space must be abandoned, not executed.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1000000;
+  std::atomic<std::size_t> executed{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(
+        kCount,
+        [&](std::size_t i) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          if (i == 0) throw std::runtime_error("first chunk failed");
+        },
+        /*chunk=*/16);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  // In-flight chunks finish naturally, but the vast majority of the index
+  // space is never handed out once the error parks the claim counter.
+  EXPECT_LT(executed.load(), kCount / 2);
+  // The pool survives and the next loop is complete.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(64, [&](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPool, NestedParallelForWithExplicitChunksDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(
+      16,
+      [&](std::size_t) {
+        pool.parallel_for(
+            16,
+            [&](std::size_t) { total.fetch_add(1, std::memory_order_relaxed); },
+            /*chunk=*/4);
+      },
+      /*chunk=*/2);
+  EXPECT_EQ(total.load(), 256u);
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersSerializeLoops) {
+  // Two threads that both own no pool worker may race parallel_for; the
+  // single loop slot must serialise them without losing indices.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  std::thread other([&] {
+    for (int round = 0; round < 20; ++round)
+      pool.parallel_for(100, [&](std::size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  for (int round = 0; round < 20; ++round)
+    pool.parallel_for(100, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  other.join();
+  EXPECT_EQ(total.load(), 4000u);
+}
+
+TEST(ThreadPool, SubmitManyTasksAllComplete) {
+  // The intrusive task queue under load: every future resolves, in any
+  // completion order.
+  ThreadPool pool(4);
+  std::vector<TaskFuture<int>> futures;
+  futures.reserve(200);
+  for (int k = 0; k < 200; ++k)
+    futures.push_back(pool.submit([k] { return k * k; }));
+  for (int k = 0; k < 200; ++k) EXPECT_EQ(futures[k].get(), k * k);
 }
 
 TEST(ThreadPool, StressManyConcurrentLoops) {
