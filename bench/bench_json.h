@@ -55,6 +55,10 @@ struct BenchRecord {
   double ns_per_op = 0.0;
   double bytes_per_op = 0.0;
   std::int64_t iterations = 0;
+  /// Every other user counter the benchmark attached (events_per_sec,
+  /// shards, cpus, speedup, ...), serialised as first-class JSON fields so
+  /// CI floor checks can read them without parsing benchmark names.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 /// Console reporter that additionally captures per-iteration runs (skipping
@@ -71,9 +75,15 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
         record.ns_per_op = run.real_accumulated_time /
                            static_cast<double>(run.iterations) * 1e9;
       }
-      const auto it = run.counters.find("bytes_per_op");
-      if (it != run.counters.end())
-        record.bytes_per_op = static_cast<double>(it->second);
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "bytes_per_op") {
+          record.bytes_per_op = static_cast<double>(counter);
+        } else {
+          // Rate counters report per-second values already resolved by the
+          // benchmark library at this point.
+          record.extra.emplace_back(name, static_cast<double>(counter));
+        }
+      }
       records_.push_back(std::move(record));
     }
     ConsoleReporter::ReportRuns(runs);
@@ -105,8 +115,10 @@ inline bool write_bench_json(const std::string& path,
     out << "  {\"op\": \"" << json_escape(r.op)
         << "\", \"ns_per_op\": " << r.ns_per_op
         << ", \"bytes_per_op\": " << r.bytes_per_op
-        << ", \"iterations\": " << r.iterations << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+        << ", \"iterations\": " << r.iterations;
+    for (const auto& [name, value] : r.extra)
+      out << ", \"" << json_escape(name) << "\": " << value;
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
   return out.good();

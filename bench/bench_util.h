@@ -38,6 +38,13 @@ struct BenchOptions {
   /// Result tables are byte-identical for every value — only wall time
   /// changes. Timing goes to stderr so stdout stays comparable.
   std::size_t threads = 1;
+  /// Event-engine shards for the real system (--shards N): 1 = the serial
+  /// engine, >= 2 = the sharded engine (sim/shard.h), whose trajectory is
+  /// deterministic but distinct from serial. Incompatible with the
+  /// checkpoint flags: checkpoints capture the serial engine's two-stream
+  /// rng snapshot, which sharded mode (one stream per task/workflow type)
+  /// cannot fit.
+  int shards = 1;
   /// Save a training checkpoint after every N outer iterations (0 = off).
   std::size_t checkpoint_every = 0;
   /// Where checkpoints land; empty means a per-section default path.
@@ -63,6 +70,9 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.threads = std::strtoull(argv[++i], nullptr, 10);
       if (options.threads == 0)
         options.threads = common::ThreadPool::hardware_threads();
+    } else if (arg == "--shards" && i + 1 < argc) {
+      options.shards = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (options.shards < 1) options.shards = 1;
     } else if (arg == "--checkpoint-every" && i + 1 < argc) {
       options.checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--checkpoint-path" && i + 1 < argc) {
@@ -72,7 +82,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--full] [--csv] [--seed N] [--dataset msd|ligo]"
-                   " [--threads N] [--checkpoint-every N]"
+                   " [--threads N] [--shards N] [--checkpoint-every N]"
                    " [--checkpoint-path FILE] [--resume FILE]\n";
       std::exit(0);
     }

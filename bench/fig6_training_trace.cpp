@@ -28,7 +28,11 @@ void run_fig6(const std::string& name, workflows::Ensemble ensemble,
   sim::SystemConfig system_config;
   system_config.consumer_budget = budget;
   system_config.seed = options.seed;
+  system_config.shards = options.shards;
   sim::MicroserviceSystem system(std::move(ensemble), system_config);
+  // The sharded engine's barriers run on the same pool as the gradient
+  // work; with shards == 1 this is a no-op.
+  system.set_thread_pool(pool);
 
   out << "\n=== Figure 6 (" << name << "): " << config.outer_iterations
       << " iterations x " << config.real_steps_per_iteration
@@ -93,6 +97,19 @@ int main(int argc, char** argv) {
       sections.size() > 1) {
     std::cerr << "fig6: --resume/--checkpoint-path apply to one training "
                  "run; pick it with --dataset msd|ligo\n";
+    return 2;
+  }
+
+  // Checkpoints persist the serial engine's two-stream rng snapshot; the
+  // sharded engine keeps one stream per task/workflow type, which that
+  // shape cannot hold (sim/system.h). Refuse the combination rather than
+  // fail mid-run.
+  if (options.shards >= 2 &&
+      (options.checkpoint_every > 0 || !options.checkpoint_path.empty() ||
+       !options.resume.empty())) {
+    std::cerr << "fig6: --shards >= 2 does not support checkpointing; drop "
+                 "--checkpoint-every/--checkpoint-path/--resume or run with "
+                 "--shards 1\n";
     return 2;
   }
 

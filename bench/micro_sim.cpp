@@ -1,24 +1,32 @@
 // Microbenchmarks of the discrete-event emulator (google-benchmark):
-// raw event-queue throughput (typed and closure-based), window-step
-// throughput for MSD and LIGO under steady and burst load, reset-reuse
-// cycles, and per-thread episode scaling on pooled systems. Every benchmark
-// reports bytes_per_op; the steady-state event-stepping path must report 0.
-// Pass `--json <path>` to dump {op, ns_per_op, bytes_per_op, iterations}
-// records (the BENCH_sim.json CI artifact).
+// raw typed-event-queue throughput, window-step throughput for MSD and LIGO
+// under steady and burst load, sharded-engine event throughput and window
+// stepping on a generated 128-task-type ensemble, reset-reuse cycles, and
+// per-thread episode scaling on pooled systems. Every benchmark reports
+// bytes_per_op; the serial steady-state event-stepping path must report
+// exactly 0, sharded arms a bounded high-watermark total (see
+// BM_GeneratedEventThroughput). Pass `--json <path>` to dump records with
+// all user counters (events_per_sec, shards, cpus, ...) — the
+// BENCH_sim.json CI artifact.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bench_json.h"
 #include "common/object_pool.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "sim/shard.h"
 #include "sim/system.h"
+#include "workflows/generated.h"
 #include "workflows/ligo.h"
 #include "workflows/msd.h"
 
@@ -33,22 +41,87 @@ std::unique_ptr<sim::MicroserviceSystem> make_msd_system(std::uint64_t seed) {
       workflows::make_msd_ensemble(), config);
 }
 
-// Closure-based queue with a minimal capture (fits the std::function small
-// buffer): isolates the queue-level difference from the typed queue below.
-void BM_EventQueueScheduleRun(benchmark::State& state) {
-  const std::uint64_t alloc0 = bench::allocation_mark();
-  for (auto _ : state) {
-    sim::EventQueue events;
-    int counter = 0;
-    for (int i = 0; i < 1000; ++i)
-      events.schedule(static_cast<double>(i % 97), [&counter] { ++counter; });
-    events.run_until(100.0);
-    benchmark::DoNotOptimize(counter);
-  }
-  bench::record_bytes_per_op(state, alloc0);
-  state.SetItemsProcessed(state.iterations() * 1000);
+// The 128-task-type scenario the sharded arms run: short lognormal services
+// and a consumer budget large enough that the cluster completes thousands
+// of tasks per simulated second — the regime where one serial event loop is
+// the bottleneck the sharded engine exists to break.
+constexpr int kGeneratedBudget = 2048;
+
+workflows::Ensemble make_generated_bench_ensemble() {
+  workflows::GeneratedOptions options;
+  options.num_task_types = 128;
+  options.num_workflows = 32;
+  options.service_mean_min = 0.05;
+  options.service_mean_max = 0.5;
+  options.consumer_budget = kGeneratedBudget;
+  options.utilization = 0.85;
+  options.seed = 99;
+  return workflows::make_generated_ensemble(options);
 }
-BENCHMARK(BM_EventQueueScheduleRun);
+
+// Consumers apportioned to each type's offered load (arrival rate x visit
+// count x mean service time), largest-remainder rounded so the counts sum
+// to exactly `budget`, with at least one consumer wherever load exists.
+// The generated ensemble's per-type load is deliberately uneven, so an
+// even split would pin the heavy types above utilization 1 and their
+// queues (and allocation counts) would grow without bound.
+std::vector<int> proportional_allocation(const workflows::Ensemble& ensemble,
+                                         int budget) {
+  const std::size_t types = ensemble.num_task_types();
+  std::vector<double> load(types, 0.0);
+  for (std::size_t w = 0; w < ensemble.num_workflows(); ++w) {
+    const auto& graph = ensemble.workflow(w);
+    for (std::size_t n = 0; n < graph.num_nodes(); ++n) {
+      const std::size_t j = graph.task_type_of(n);
+      load[j] += ensemble.arrival_rate(w) *
+                 ensemble.task_type(j).service_time.mean();
+    }
+  }
+  double total = 0.0;
+  for (const double l : load) total += l;
+  std::vector<int> allocation(types, 0);
+  int assigned = 0;
+  for (std::size_t j = 0; j < types; ++j) {
+    if (load[j] <= 0.0) continue;
+    allocation[j] = 1;
+    ++assigned;
+  }
+  const int spare = budget - assigned;
+  std::vector<std::pair<double, std::size_t>> remainders;
+  for (std::size_t j = 0; j < types; ++j) {
+    if (load[j] <= 0.0) continue;
+    const double share = load[j] / total * static_cast<double>(spare);
+    const int whole = static_cast<int>(share);
+    allocation[j] += whole;
+    assigned += whole;
+    remainders.emplace_back(share - whole, j);
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (std::size_t i = 0; assigned < budget && !remainders.empty(); ++i) {
+    ++allocation[remainders[i % remainders.size()].second];
+    ++assigned;
+  }
+  return allocation;
+}
+
+std::unique_ptr<sim::MicroserviceSystem> make_generated_system(int shards) {
+  sim::SystemConfig config;
+  config.consumer_budget = kGeneratedBudget;
+  config.seed = 1;
+  config.shards = shards;
+  return std::make_unique<sim::MicroserviceSystem>(
+      make_generated_bench_ensemble(), config);
+}
+
+void attach_shard_counters(benchmark::State& state, int shards) {
+  state.counters["shards"] = benchmark::Counter(static_cast<double>(shards));
+  state.counters["cpus"] = benchmark::Counter(
+      static_cast<double>(std::thread::hardware_concurrency()));
+}
 
 // What one completion looked like to the pre-rewrite engine: a value-
 // returned result whose ready-node list lives on the heap.
@@ -191,6 +264,81 @@ void BM_SimEventThroughput(benchmark::State& state) {
       static_cast<std::int64_t>(system->executed_events() - executed));
 }
 BENCHMARK(BM_SimEventThroughput);
+
+// Sharded-engine event throughput on the generated 128-type ensemble.
+// Arg 1 runs the serial engine on the identical ensemble (the baseline the
+// CI ≥1.5x floor at 4 shards is asserted against); args >= 2 run the
+// sharded engine on a thread pool with one worker per shard. The serial
+// arm must report exactly 0 bytes/op (the preserved steady-state
+// contract); sharded arms may grow a high-watermark buffer a few KB past
+// the warm-up's peak, so CI bounds their TOTAL bytes instead — a real
+// per-event leak would be megabytes per iteration. events_per_sec is a
+// rate counter (events executed / wall second); shards and cpus ride along
+// so the floor check can tell a 1-CPU recording from a multicore one.
+void BM_GeneratedEventThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto system = make_generated_system(shards);
+  common::ThreadPool pool(static_cast<std::size_t>(shards));
+  if (shards >= 2) system->set_thread_pool(&pool);
+  // Warm up: allocate consumers in proportion to per-type load (the system
+  // is stable under this allocation — queues stay bounded), push every
+  // pooled structure (slabs, rings, heaps, barrier scratch) past its steady
+  // watermark with a burst, and drain it.
+  (void)system->step(
+      proportional_allocation(system->ensemble(), kGeneratedBudget));
+  system->inject_burst(sim::BurstSpec{std::vector<std::size_t>(32, 50)});
+  system->run_for(200.0);
+  std::uint64_t executed = system->executed_events();
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    system->run_for(50.0);
+    benchmark::DoNotOptimize(system->now());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  const auto events =
+      static_cast<std::int64_t>(system->executed_events() - executed);
+  state.SetItemsProcessed(events);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  attach_shard_counters(state, shards);
+}
+BENCHMARK(BM_GeneratedEventThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Full window steps (allocation applied, stats packed) on the same
+// ensemble — the ≥2x-at-4-shards window-step throughput target from
+// ROADMAP item 2 reads off this arm's ns_per_op ratio vs /1.
+void BM_GeneratedWindowStep(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  auto system = make_generated_system(shards);
+  common::ThreadPool pool(static_cast<std::size_t>(shards));
+  if (shards >= 2) system->set_thread_pool(&pool);
+  const std::vector<int> allocation =
+      proportional_allocation(system->ensemble(), kGeneratedBudget);
+  (void)system->step(allocation);  // warm pools and barrier scratch
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  std::uint64_t executed = system->executed_events();
+  for (auto _ : state) benchmark::DoNotOptimize(system->step(allocation));
+  bench::record_bytes_per_op(state, alloc0);
+  const auto events =
+      static_cast<std::int64_t>(system->executed_events() - executed);
+  state.SetItemsProcessed(state.iterations());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  attach_shard_counters(state, shards);
+}
+BENCHMARK(BM_GeneratedWindowStep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MsdWindowStep(benchmark::State& state) {
   auto system = make_msd_system(1);

@@ -1,0 +1,90 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The sharded simulator routes cross-shard records through one of these per
+// source shard: the shard's worker thread pushes while its sub-window runs,
+// and the merge phase (which starts only after the pool barrier) drains it.
+// Within that protocol push and drain never overlap, but the ring is a real
+// lock-free SPSC queue — acquire/release on the two cursors — so the same
+// type also serves genuinely concurrent producer/consumer pairs (pinned by
+// the TSan-covered stress test).
+//
+// Capacity is fixed at construction (rounded up to a power of two) and the
+// slot storage never reallocates: try_push on a full ring returns false and
+// the caller spills to its own overflow storage instead of blocking. That
+// keeps the simulator's steady state allocation-free without ever dropping
+// or reordering records — the drain order (ring first, then overflow) is
+// exactly the production order, because once the ring is full every later
+// record goes to the overflow until the next drain empties both.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace miras::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Rounds `capacity` up to the next power of two (minimum 2). The ring
+  /// holds exactly that many elements before try_push starts failing.
+  explicit SpscRing(std::size_t capacity) {
+    MIRAS_EXPECTS(capacity > 0);
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false (ring full) without touching the slot.
+  bool try_push(const T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == slots_.size()) return false;
+    slots_[tail & (slots_.size() - 1)] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = slots_[head & (slots_.size() - 1)];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends everything currently in the ring to `out` in
+  /// FIFO order and empties the ring. Returns the number drained.
+  std::size_t drain_into(std::vector<T>& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    for (std::size_t i = head; i != tail; ++i)
+      out.push_back(slots_[i & (slots_.size() - 1)]);
+    head_.store(tail, std::memory_order_release);
+    return tail - head;
+  }
+
+  /// Entries currently buffered (exact only when producer and consumer are
+  /// quiescent, e.g. at a merge barrier).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  // Cursors on separate cache lines so the producer's tail stores never
+  // invalidate the consumer's head line and vice versa.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::vector<T> slots_;
+};
+
+}  // namespace miras::common

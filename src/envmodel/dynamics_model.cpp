@@ -125,46 +125,60 @@ double DynamicsModel::fit(const TransitionDataset& data) {
   // Every minibatch decomposes into fixed 16-row gradient blocks; block m
   // gathers its rows, runs forward+backward into passes_[m], and the block
   // gradients are reduced in ascending order before one optimizer step
-  // (train_shards.h). The pool only changes which thread runs a block,
-  // never the numbers. All buffers are members, so steady-state epochs
-  // allocate nothing.
+  // (train_shards.h). The whole epoch is ONE pool publication: run_epoch's
+  // lanes claim blocks batch by batch and the unique tail-runner applies
+  // the serial Adam step between batches, so per-batch dispatch overhead
+  // vanishes while the numbers stay bit-identical — which thread runs a
+  // block was never visible in the results, and the tail still sees every
+  // block of its batch and runs before the next batch opens. All buffers
+  // are members, so steady-state epochs allocate nothing.
+  const std::size_t num_batches = (n + config_.batch_size - 1) / config_.batch_size;
+  const auto batch_of = [&](std::size_t p) {
+    return std::min(config_.batch_size, n - p * config_.batch_size);
+  };
+  const std::size_t max_blocks = nn::num_row_blocks(batch_of(0));
+  if (passes_.size() < max_blocks) passes_.resize(max_blocks);
+
   double final_epoch_loss = 0.0;
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     data.shuffled_indices_into(rng_, shuffle_);
     double epoch_loss = 0.0;
-    std::size_t num_batches = 0;
-    for (std::size_t start = 0; start < n; start += config_.batch_size) {
-      const std::size_t batch = std::min(config_.batch_size, n - start);
-      const std::size_t blocks = nn::num_row_blocks(batch);
-      if (passes_.size() < blocks) passes_.resize(blocks);
-      nn::for_each_block(pool_, blocks, grad_shards_, [&](std::size_t m) {
-        nn::TrainPass& pass = passes_[m];
-        const nn::RowRange rows = nn::row_block(batch, m);
-        nn::prepare_pass(network_.layers(), pass);
-        pass.in.resize(rows.size(), in_dim);
-        pass.target.resize(rows.size(), state_dim_);
-        for (std::size_t b = 0; b < rows.size(); ++b) {
-          const std::size_t idx = shuffle_[start + rows.begin + b];
-          std::memcpy(pass.in.data() + b * in_dim,
-                      design_in_.data() + idx * in_dim,
-                      in_dim * sizeof(double));
-          std::memcpy(pass.target.data() + b * state_dim_,
-                      design_out_.data() + idx * state_dim_,
-                      state_dim_ * sizeof(double));
-        }
-        const nn::Tensor& prediction = network_.forward_shard(pass.in, pass);
-        pass.loss = nn::mse_loss_partial_into(
-            prediction, pass.target, batch * state_dim_, pass.loss_grad);
-        network_.backward_shard(pass.in, pass.loss_grad, pass);
-      });
-      double loss = 0.0;
-      for (std::size_t m = 0; m < blocks; ++m) loss += passes_[m].loss;
-      // Fused zero + reduce + clip + step: one serial tail per minibatch
-      // (bit-identical to the unfused sequence, see sharded_adam_step).
-      network_.sharded_update(passes_, blocks, config_.grad_clip, optimizer_);
-      epoch_loss += loss;
-      ++num_batches;
-    }
+    nn::run_epoch(
+        pool_, num_batches,
+        [&](std::size_t p) { return nn::num_row_blocks(batch_of(p)); },
+        [&](std::size_t p, std::size_t m) {
+          const std::size_t start = p * config_.batch_size;
+          const std::size_t batch = batch_of(p);
+          nn::TrainPass& pass = passes_[m];
+          const nn::RowRange rows = nn::row_block(batch, m);
+          nn::prepare_pass(network_.layers(), pass);
+          pass.in.resize(rows.size(), in_dim);
+          pass.target.resize(rows.size(), state_dim_);
+          for (std::size_t b = 0; b < rows.size(); ++b) {
+            const std::size_t idx = shuffle_[start + rows.begin + b];
+            std::memcpy(pass.in.data() + b * in_dim,
+                        design_in_.data() + idx * in_dim,
+                        in_dim * sizeof(double));
+            std::memcpy(pass.target.data() + b * state_dim_,
+                        design_out_.data() + idx * state_dim_,
+                        state_dim_ * sizeof(double));
+          }
+          const nn::Tensor& prediction =
+              network_.forward_shard(pass.in, pass);
+          pass.loss = nn::mse_loss_partial_into(
+              prediction, pass.target, batch * state_dim_, pass.loss_grad);
+          network_.backward_shard(pass.in, pass.loss_grad, pass);
+        },
+        [&](std::size_t p) {
+          const std::size_t blocks = nn::num_row_blocks(batch_of(p));
+          double loss = 0.0;
+          for (std::size_t m = 0; m < blocks; ++m) loss += passes_[m].loss;
+          // Fused zero + reduce + clip + step: one serial tail per batch
+          // (bit-identical to the unfused sequence, see sharded_adam_step).
+          network_.sharded_update(passes_, blocks, config_.grad_clip,
+                                  optimizer_);
+          epoch_loss += loss;
+        });
     final_epoch_loss = epoch_loss / static_cast<double>(num_batches);
   }
   return final_epoch_loss;

@@ -25,8 +25,12 @@
 // per block index.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -157,6 +161,110 @@ void for_each_block(common::ThreadPool* pool, std::size_t blocks,
     const std::size_t end = (t + 1) * blocks / tasks;
     for (std::size_t m = begin; m < end; ++m) body(m);
   });
+}
+
+/// Cooperative epoch loop: ONE pool publication for a whole sequence of
+/// minibatches, instead of one parallel_for per batch. The pool's workers
+/// (plus the caller) enter a single parallel_for and then coordinate
+/// through two atomics:
+///
+///  - `ticket` packs (phase << 32) | next_block. Lanes claim blocks of the
+///    open phase by CAS-incrementing the low word; the CAS (never a blind
+///    fetch_add) means a lane that stalls between reading the ticket and
+///    bidding cannot corrupt the next phase's block counter.
+///  - `done` counts executed blocks cumulatively across the epoch. The lane
+///    whose increment completes the current phase's quota is the unique
+///    tail-runner: it alone runs `tail(p)` (the serial reduce + Adam step)
+///    and then opens phase p+1 by storing the new ticket.
+///
+/// Ordering guarantees, identical to the per-batch dispatch it replaces:
+/// every block of phase p finishes before tail(p) runs (the acq_rel chain
+/// on `done`), and tail(p) finishes before any phase p+1 block runs (the
+/// release store / acquire load on `ticket`). Numbers therefore cannot
+/// depend on lane scheduling, and the protocol tolerates ANY schedule —
+/// even all lanes running sequentially on one thread — because a single
+/// lane can drive every phase to completion alone and late lanes skim
+/// through already-closed phases without waiting.
+///
+/// blocks_of(p) -> block count of phase p (must be >= 1 and < 2^32);
+/// block_body(p, m) runs re-entrantly for each block; tail(p) runs exactly
+/// once per phase, serially, between the last block of p and the first of
+/// p+1. An exception from either callback aborts the epoch (remaining
+/// phases are abandoned) and is rethrown to the caller after all lanes
+/// drain. Without a pool the loop degenerates to the obvious serial
+/// phase-by-phase iteration — same numbers, zero atomics.
+template <typename BlocksOf, typename BlockBody, typename Tail>
+void run_epoch(common::ThreadPool* pool, std::size_t phases,
+               BlocksOf&& blocks_of, BlockBody&& block_body, Tail&& tail) {
+  if (phases == 0) return;
+  if (pool == nullptr || pool->thread_count() == 0) {
+    for (std::size_t p = 0; p < phases; ++p) {
+      const std::size_t blocks = blocks_of(p);
+      for (std::size_t m = 0; m < blocks; ++m) block_body(p, m);
+      tail(p);
+    }
+    return;
+  }
+
+  struct Control {
+    alignas(64) std::atomic<std::uint64_t> ticket{0};
+    alignas(64) std::atomic<std::uint64_t> done{0};
+    alignas(64) std::atomic<bool> failed{false};
+    std::exception_ptr error;
+  } control;
+  const auto fail = [&control]() noexcept {
+    bool expected = false;
+    if (control.failed.compare_exchange_strong(expected, true))
+      control.error = std::current_exception();
+  };
+
+  constexpr std::uint64_t kIdxMask = 0xffffffffull;
+  const std::size_t lanes = pool->thread_count() + 1;
+  pool->parallel_for(
+      lanes,
+      [&](std::size_t) {
+        std::uint64_t cum = 0;  // total blocks in phases [0, p)
+        for (std::uint64_t p = 0; p < phases; ++p) {
+          const std::uint64_t blocks = blocks_of(p);
+          // Wait for phase p to open (the previous tail-runner stores it).
+          std::uint64_t t = control.ticket.load(std::memory_order_acquire);
+          while ((t >> 32) < p) {
+            if (control.failed.load(std::memory_order_acquire)) return;
+            std::this_thread::yield();
+            t = control.ticket.load(std::memory_order_acquire);
+          }
+          // Claim blocks while the phase is open and stock remains.
+          for (;;) {
+            if (control.failed.load(std::memory_order_relaxed)) return;
+            t = control.ticket.load(std::memory_order_relaxed);
+            if ((t >> 32) != p || (t & kIdxMask) >= blocks) break;
+            if (!control.ticket.compare_exchange_weak(
+                    t, t + 1, std::memory_order_acq_rel,
+                    std::memory_order_relaxed))
+              continue;
+            try {
+              block_body(p, t & kIdxMask);
+            } catch (...) {
+              fail();
+              return;
+            }
+            if (control.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                cum + blocks) {
+              try {
+                tail(p);
+              } catch (...) {
+                fail();
+                return;
+              }
+              control.ticket.store((p + 1) << 32, std::memory_order_release);
+            }
+          }
+          cum += blocks;
+        }
+      },
+      /*chunk=*/1);
+  if (control.failed.load(std::memory_order_acquire))
+    std::rethrow_exception(control.error);
 }
 
 /// dst <- rows [range.begin, range.end) of src, as one contiguous memcpy

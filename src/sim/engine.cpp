@@ -1,7 +1,7 @@
 #include "sim/engine.h"
 
-// Both queue flavours are header-only templates over EventHeap; this TU
-// exists to compile the header standalone and anchor the library target.
+// The queue is a header-only template over EventHeap; this TU exists to
+// compile the header standalone and anchor the library target.
 
 namespace miras::sim {
 

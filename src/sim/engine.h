@@ -1,17 +1,17 @@
-// Discrete-event simulation core: time-ordered event queues with a
+// Discrete-event simulation core: a time-ordered event queue with a
 // monotonically advancing clock. Ties are broken by insertion sequence so
 // runs are fully deterministic.
 //
-// Two queues share the same (time, seq) contract and EventHeap storage:
-//  - TypedEventQueue stores small POD Event values and dispatches them
-//    through a caller-supplied callback (a switch in MicroserviceSystem) —
-//    zero per-event allocations at steady state. The simulator runs on this.
-//  - EventQueue stores std::function handlers; kept for tests and callers
-//    that want arbitrary closures.
+// There is exactly one event representation: TypedEventQueue stores small
+// POD Event values in an EventHeap under the (time, seq) contract and
+// dispatches them through a caller-supplied callback (a switch in
+// MicroserviceSystem) — zero per-event allocations at steady state. The
+// closure-based std::function queue that used to live beside it is gone;
+// tests and benches run on the typed queue too, so the sharded engine has a
+// single representation to maintain.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "common/contracts.h"
@@ -41,6 +41,10 @@ struct Event {
   std::uint64_t instance = 0;
   std::uint32_t target = 0;
   std::uint32_t node = 0;
+  /// Extra payload word. The sharded engine stores the workflow type of a
+  /// kTaskComplete here so the completion can be routed to the shard that
+  /// homes the instance's dependency state; the serial engine leaves it 0.
+  std::uint32_t aux = 0;
   EventType type = EventType::kWindowBoundary;
 };
 
@@ -53,6 +57,13 @@ class BasicEventQueue {
 
   /// Schedules `entry` at absolute time `when`; `when` must not precede the
   /// current clock. The entry's time/seq fields are assigned here.
+  ///
+  /// Boundary-equal contract: `when == now_` is explicitly accepted, and the
+  /// entry runs in the current sweep if one is active (it sorts after every
+  /// already-executed event by seq). This matters beyond handlers scheduling
+  /// follow-ups "now": a cross-shard merge delivers work stamped at exactly
+  /// the sub-window boundary the receiving shard's clock has already
+  /// advanced to, so the sharded engine relies on equality being legal.
   void schedule(SimTime when, Entry entry) {
     MIRAS_EXPECTS(when >= now_);
     entry.time = when;
@@ -110,42 +121,5 @@ class BasicEventQueue {
 
 /// The simulator's queue: POD events, switch-dispatched by the caller.
 class TypedEventQueue : public BasicEventQueue<Event> {};
-
-/// Closure-based queue for callers that need to capture arbitrary state.
-class EventQueue {
- public:
-  using Handler = std::function<void()>;
-
-  SimTime now() const { return queue_.now(); }
-
-  void schedule(SimTime when, Handler handler) {
-    queue_.schedule(when, Entry{0.0, 0, std::move(handler)});
-  }
-
-  void schedule_in(SimTime delay, Handler handler) {
-    queue_.schedule_in(delay, Entry{0.0, 0, std::move(handler)});
-  }
-
-  /// Executes all events with time <= `until` in (time, insertion) order,
-  /// then advances the clock to `until`. Handlers may schedule new events,
-  /// including at the current time.
-  void run_until(SimTime until) {
-    queue_.run_until(until, [](Entry&& entry) { entry.handler(); });
-  }
-
-  /// Drops all pending events and rewinds the clock to zero.
-  void reset() { queue_.reset(); }
-
-  std::size_t pending_events() const { return queue_.pending_events(); }
-  std::uint64_t executed_events() const { return queue_.executed_events(); }
-
- private:
-  struct Entry {
-    SimTime time = 0.0;
-    std::uint64_t seq = 0;
-    Handler handler;
-  };
-  BasicEventQueue<Entry> queue_;
-};
 
 }  // namespace miras::sim

@@ -1,0 +1,422 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+#include "common/thread_pool.h"
+
+namespace miras::sim {
+
+namespace {
+
+/// Total order on routed records: (time, stream, seq). Streams partition
+/// the records (one per task type and one per arrival stream) and seq is a
+/// per-stream counter, so no two records compare equal — the sort is a
+/// permutation with exactly one result regardless of input order.
+struct RecordOrder {
+  bool operator()(const auto& a, const auto& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.stream != b.stream) return a.stream < b.stream;
+    return a.seq < b.seq;
+  }
+};
+
+/// Delivery order: position of the originating record in the sorted batch,
+/// then fan-out index within that record.
+struct DeliveryOrder {
+  bool operator()(const auto& a, const auto& b) const {
+    if (a.pos != b.pos) return a.pos < b.pos;
+    return a.sub < b.sub;
+  }
+};
+
+void fold_counters(SystemCounters& into, SystemCounters& delta) {
+  into.workflows_arrived += delta.workflows_arrived;
+  into.workflows_completed += delta.workflows_completed;
+  into.tasks_enqueued += delta.tasks_enqueued;
+  into.tasks_completed += delta.tasks_completed;
+  delta = SystemCounters{};
+}
+
+}  // namespace
+
+ShardedCluster::ShardedCluster(const workflows::Ensemble* ensemble,
+                               const SystemConfig& config)
+    : ensemble_(ensemble), config_(config) {
+  MIRAS_EXPECTS(config_.shards >= 2);
+  MIRAS_EXPECTS(config_.window_length > 0.0);
+  MIRAS_EXPECTS(config_.sync_quantum >= 0.0);
+  quantum_ = config_.sync_quantum > 0.0 ? config_.sync_quantum
+                                        : config_.window_length / 60.0;
+
+  const std::size_t types = ensemble_->num_task_types();
+  const std::size_t workflows = ensemble_->num_workflows();
+  // More shards than task types would leave some permanently idle; the
+  // trajectory is shard-count-invariant anyway, so clamp silently.
+  const std::size_t shard_count =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.shards), types);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s)
+    shards_.push_back(std::make_unique<Shard>(ensemble_));
+
+  queues_.resize(types);
+  pools_.resize(types);
+  completion_seq_.resize(types, 0);
+  arrival_rates_.resize(workflows);
+  for (std::size_t w = 0; w < workflows; ++w)
+    arrival_rates_[w] = ensemble_->arrival_rate(w);
+  root_seq_.resize(workflows, 0);
+
+  items_.resize(shard_count);
+  deliver_.resize(shard_count);
+
+  window_arrivals_.resize(workflows);
+  window_completed_.resize(workflows);
+  window_response_sum_.resize(workflows);
+  window_task_arrivals_.resize(types);
+  window_task_completions_.resize(types);
+
+  derive_streams(config_.seed);
+  reset();
+}
+
+void ShardedCluster::derive_streams(std::uint64_t seed) {
+  const std::size_t types = ensemble_->num_task_types();
+  const std::size_t workflows = ensemble_->num_workflows();
+  // Stream indices are global and contiguous — task types first, then
+  // arrival streams, then the control stream — so the derivation never
+  // sees the shard count.
+  service_rngs_.clear();
+  service_rngs_.reserve(types);
+  for (std::size_t j = 0; j < types; ++j)
+    service_rngs_.emplace_back(shard_seed(seed, j));
+  arrival_rngs_.clear();
+  arrival_rngs_.reserve(workflows);
+  for (std::size_t w = 0; w < workflows; ++w)
+    arrival_rngs_.emplace_back(shard_seed(seed, types + w));
+  control_rng_ = Rng(shard_seed(seed, types + workflows));
+}
+
+std::vector<double> ShardedCluster::reset() {
+  for (auto& shard : shards_) {
+    shard->events.reset();
+    shard->deps.clear();
+    shard->delta = SystemCounters{};
+    shard->overflow.clear();
+    MIRAS_ASSERT(shard->ring.empty());  // every window ends on a barrier
+  }
+  for (auto& queue : queues_) queue.clear();
+  for (auto& pool : pools_) pool.clear();
+  counters_ = SystemCounters{};
+  now_ = 0.0;
+  std::fill(window_arrivals_.begin(), window_arrivals_.end(), 0);
+  std::fill(window_completed_.begin(), window_completed_.end(), 0);
+  std::fill(window_response_sum_.begin(), window_response_sum_.end(), 0.0);
+  std::fill(window_task_arrivals_.begin(), window_task_arrivals_.end(), 0);
+  std::fill(window_task_completions_.begin(), window_task_completions_.end(),
+            0);
+
+  // First arrivals, drawn serially in stream order (the streams are
+  // independent, so only each stream's own position matters).
+  for (std::size_t w = 0; w < arrival_rates_.size(); ++w) {
+    if (arrival_rates_[w] <= 0.0) continue;
+    Event event;
+    event.type = EventType::kWorkflowArrival;
+    event.target = static_cast<std::uint32_t>(w);
+    shards_[home_of_workflow(w)]->events.schedule_in(
+        arrival_rngs_[w].exponential(arrival_rates_[w]), event);
+  }
+  return observe_wip();
+}
+
+void ShardedCluster::reseed(std::uint64_t seed) {
+  config_.seed = seed;
+  derive_streams(seed);
+  for (std::size_t j = 0; j < completion_seq_.size(); ++j)
+    completion_seq_[j] = 0;
+  for (std::size_t w = 0; w < root_seq_.size(); ++w) root_seq_[w] = 0;
+  reset();
+}
+
+void ShardedCluster::emit(Shard& shard, const RoutedRecord& record) {
+  if (!shard.ring.try_push(record)) shard.overflow.push_back(record);
+}
+
+void ShardedCluster::try_dispatch(std::size_t task_type,
+                                  TypedEventQueue& events) {
+  auto& queue = queues_[task_type];
+  auto& pool = pools_[task_type];
+  while (pool.idle() > 0 && !queue.empty()) {
+    const TaskRequest request = queue.pop();
+    pool.on_dispatch();
+    const double service_time =
+        ensemble_->task_type(task_type).service_time.sample(
+            service_rngs_[task_type]);
+    Event event;
+    event.type = EventType::kTaskComplete;
+    event.target = static_cast<std::uint32_t>(task_type);
+    event.instance = request.workflow_instance;
+    event.node = static_cast<std::uint32_t>(request.node);
+    event.aux = request.workflow_type;
+    events.schedule_in(service_time, event);
+  }
+}
+
+void ShardedCluster::dispatch(Shard& shard, const Event& event) {
+  switch (event.type) {
+    case EventType::kWorkflowArrival: {
+      const std::uint32_t w = event.target;
+      ++shard.delta.workflows_arrived;
+      ++window_arrivals_[w];
+      const auto instance =
+          shard.deps.create_instance(w, shard.events.now());
+      for (const std::size_t node : *instance.initial_nodes) {
+        emit(shard, RoutedRecord{shard.events.now(), arrival_stream(w),
+                                 root_seq_[w]++, instance.id, w,
+                                 static_cast<std::uint32_t>(node),
+                                 RecordKind::kRoot});
+      }
+      Event next;
+      next.type = EventType::kWorkflowArrival;
+      next.target = w;
+      shard.events.schedule_in(
+          arrival_rngs_[w].exponential(arrival_rates_[w]), next);
+      break;
+    }
+    case EventType::kTaskComplete: {
+      const std::uint32_t j = event.target;
+      ++shard.delta.tasks_completed;
+      ++window_task_completions_[j];
+      pools_[j].on_task_complete();
+      emit(shard, RoutedRecord{shard.events.now(), j, completion_seq_[j]++,
+                               event.instance, event.aux, event.node,
+                               RecordKind::kCompletion});
+      try_dispatch(j, shard.events);
+      break;
+    }
+    case EventType::kConsumerReady:
+      if (pools_[event.target].on_consumer_ready())
+        try_dispatch(event.target, shard.events);
+      break;
+    case EventType::kWindowBoundary:
+      break;  // the sharded engine never schedules boundary markers
+  }
+}
+
+void ShardedCluster::run_subwindow(SimTime until) {
+  const std::size_t shard_count = shards_.size();
+  auto run_shard = [&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    shard.events.run_until(until,
+                           [&](Event&& event) { dispatch(shard, event); });
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(shard_count, run_shard, /*chunk=*/1);
+  } else {
+    for (std::size_t s = 0; s < shard_count; ++s) run_shard(s);
+  }
+
+  // Merge: drain every shard's ring (then its FIFO spill) and sort the
+  // batch into the one global order the keys define.
+  merged_.clear();
+  for (auto& shard : shards_) {
+    shard->ring.drain_into(merged_);
+    merged_.insert(merged_.end(), shard->overflow.begin(),
+                   shard->overflow.end());
+    shard->overflow.clear();
+  }
+  std::sort(merged_.begin(), merged_.end(), RecordOrder{});
+
+  // Join resolution at each instance's home shard. Homes partition the
+  // instances, so scanning the whole batch per home applies the records in
+  // the global order restricted to that home — equivalent to one serial
+  // pass, but parallel.
+  auto resolve_home = [&](std::size_t h) {
+    Shard& home = *shards_[h];
+    auto& items = items_[h];
+    items.clear();
+    for (std::size_t pos = 0; pos < merged_.size(); ++pos) {
+      const RoutedRecord& record = merged_[pos];
+      if (home_of_workflow(record.workflow_type) != h) continue;
+      if (record.kind == RecordKind::kRoot) {
+        const std::size_t task_type =
+            ensemble_->workflow(record.workflow_type)
+                .task_type_of(record.node);
+        items.push_back(DeliveryItem{static_cast<std::uint32_t>(pos), 0,
+                                     record.instance, record.workflow_type,
+                                     record.node,
+                                     static_cast<std::uint32_t>(task_type)});
+        continue;
+      }
+      const auto& completion =
+          home.deps.on_task_complete(record.instance, record.node);
+      std::uint32_t sub = 0;
+      for (const std::size_t ready : completion.ready_nodes) {
+        const std::size_t task_type =
+            ensemble_->workflow(record.workflow_type).task_type_of(ready);
+        items.push_back(DeliveryItem{static_cast<std::uint32_t>(pos), sub++,
+                                     record.instance, record.workflow_type,
+                                     static_cast<std::uint32_t>(ready),
+                                     static_cast<std::uint32_t>(task_type)});
+      }
+      if (completion.workflow_complete) {
+        ++home.delta.workflows_completed;
+        ++window_completed_[record.workflow_type];
+        // Response time uses the completion's exact emission time, not the
+        // barrier time: only task *hand-offs* are quantised.
+        window_response_sum_[record.workflow_type] +=
+            record.time - completion.arrival_time;
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(shard_count, resolve_home, /*chunk=*/1);
+  } else {
+    for (std::size_t h = 0; h < shard_count; ++h) resolve_home(h);
+  }
+
+  // Delivery at each destination type's owner. Items arrive sorted within
+  // each home (they were produced scanning the sorted batch); re-sorting
+  // the per-destination selection by (pos, sub) restores the global order.
+  auto deliver_to = [&](std::size_t d) {
+    Shard& dst = *shards_[d];
+    auto& batch = deliver_[d];
+    batch.clear();
+    for (const auto& items : items_)
+      for (const auto& item : items)
+        if (owner_of_type(item.task_type) == d) batch.push_back(item);
+    std::sort(batch.begin(), batch.end(), DeliveryOrder{});
+    for (const auto& item : batch) {
+      ++dst.delta.tasks_enqueued;
+      ++window_task_arrivals_[item.task_type];
+      queues_[item.task_type].push(TaskRequest{item.instance, item.node,
+                                               until, item.workflow_type});
+      try_dispatch(item.task_type, dst.events);
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(shard_count, deliver_to, /*chunk=*/1);
+  } else {
+    for (std::size_t d = 0; d < shard_count; ++d) deliver_to(d);
+  }
+
+  for (auto& shard : shards_) fold_counters(counters_, shard->delta);
+  now_ = until;
+}
+
+void ShardedCluster::advance_to(SimTime end) {
+  while (now_ < end) run_subwindow(std::min(now_ + quantum_, end));
+}
+
+void ShardedCluster::apply_allocation(const std::vector<int>& allocation) {
+  MIRAS_EXPECTS(allocation.size() == ensemble_->num_task_types());
+  int total = 0;
+  for (const int count : allocation) {
+    MIRAS_EXPECTS(count >= 0);
+    total += count;
+  }
+  MIRAS_EXPECTS(total <= config_.consumer_budget);
+  for (std::size_t j = 0; j < allocation.size(); ++j) {
+    const int startups = pools_[j].set_target(allocation[j]);
+    for (int i = 0; i < startups; ++i) {
+      const double delay = control_rng_.uniform(config_.startup_delay_min,
+                                                config_.startup_delay_max);
+      Event event;
+      event.type = EventType::kConsumerReady;
+      event.target = static_cast<std::uint32_t>(j);
+      shards_[owner_of_type(j)]->events.schedule(now_ + delay, event);
+    }
+  }
+}
+
+void ShardedCluster::inject_burst(const BurstSpec& burst) {
+  MIRAS_EXPECTS(burst.counts.size() == ensemble_->num_workflows());
+  // Serial control-phase operation: instances are created and their root
+  // tasks enqueued immediately (no barrier quantisation), in workflow-type
+  // order, exactly once per requested count.
+  for (std::size_t w = 0; w < burst.counts.size(); ++w) {
+    Shard& home = *shards_[home_of_workflow(w)];
+    for (std::size_t i = 0; i < burst.counts[w]; ++i) {
+      ++counters_.workflows_arrived;
+      ++window_arrivals_[w];
+      const auto instance = home.deps.create_instance(w, now_);
+      for (const std::size_t node : *instance.initial_nodes) {
+        const std::size_t task_type =
+            ensemble_->workflow(w).task_type_of(node);
+        ++counters_.tasks_enqueued;
+        ++window_task_arrivals_[task_type];
+        queues_[task_type].push(
+            TaskRequest{instance.id, node, now_,
+                        static_cast<std::uint32_t>(w)});
+        try_dispatch(task_type, shards_[owner_of_type(task_type)]->events);
+      }
+    }
+  }
+}
+
+void ShardedCluster::run_for(double seconds) {
+  MIRAS_EXPECTS(seconds >= 0.0);
+  advance_to(now_ + seconds);
+}
+
+StepResult ShardedCluster::step(const std::vector<int>& allocation) {
+  std::fill(window_arrivals_.begin(), window_arrivals_.end(), 0);
+  std::fill(window_completed_.begin(), window_completed_.end(), 0);
+  std::fill(window_response_sum_.begin(), window_response_sum_.end(), 0.0);
+  std::fill(window_task_arrivals_.begin(), window_task_arrivals_.end(), 0);
+  std::fill(window_task_completions_.begin(), window_task_completions_.end(),
+            0);
+
+  apply_allocation(allocation);
+  advance_to(now_ + config_.window_length);
+
+  StepResult result;
+  result.state = observe_wip();
+  result.reward = reward_from_wip(result.state);
+
+  WindowStats& stats = result.stats;
+  stats.wip = result.state;
+  stats.reward = result.reward;
+  stats.allocation = allocation;
+  stats.arrivals = window_arrivals_;
+  stats.completed = window_completed_;
+  stats.task_arrivals = window_task_arrivals_;
+  stats.task_completions = window_task_completions_;
+  stats.mean_response_time.resize(ensemble_->num_workflows(), 0.0);
+  double response_sum = 0.0;
+  std::size_t completed_total = 0;
+  for (std::size_t w = 0; w < ensemble_->num_workflows(); ++w) {
+    if (window_completed_[w] > 0) {
+      stats.mean_response_time[w] =
+          window_response_sum_[w] / static_cast<double>(window_completed_[w]);
+    }
+    response_sum += window_response_sum_[w];
+    completed_total += window_completed_[w];
+  }
+  stats.overall_mean_response_time =
+      completed_total > 0 ? response_sum / static_cast<double>(completed_total)
+                          : 0.0;
+  return result;
+}
+
+std::vector<double> ShardedCluster::observe_wip() const {
+  std::vector<double> wip(ensemble_->num_task_types());
+  for (std::size_t j = 0; j < wip.size(); ++j)
+    wip[j] = static_cast<double>(queues_[j].size() + pools_[j].busy());
+  return wip;
+}
+
+std::uint64_t ShardedCluster::live_tasks() const {
+  std::uint64_t live = 0;
+  for (std::size_t j = 0; j < queues_.size(); ++j)
+    live += queues_[j].size() + static_cast<std::uint64_t>(pools_[j].busy());
+  return live;
+}
+
+std::uint64_t ShardedCluster::executed_events() const {
+  std::uint64_t executed = 0;
+  for (const auto& shard : shards_) executed += shard->events.executed_events();
+  return executed;
+}
+
+}  // namespace miras::sim

@@ -1,0 +1,185 @@
+// Sharded (parallel) discrete-event engine: one simulated cluster advanced
+// by several event loops at once, deterministically.
+//
+// Task types are block-partitioned over shards; each shard owns its types'
+// TaskQueue/ConsumerPool/EventHeap and the DependencyService state of the
+// workflow types homed on it. Shards advance in conservative lock-stepped
+// sub-windows: within [T0, T1) every shard runs its own events freely (all
+// of which touch only shard-owned state), and every effect that crosses a
+// type boundary — a DAG successor becoming ready, a workflow arrival
+// publishing its root tasks — is emitted as a RoutedRecord into the source
+// shard's SPSC ring and applied at the T1 barrier, where all records are
+// merged into one globally sorted order and delivered. See DESIGN.md §2c
+// for the full determinism argument; the short version:
+//
+//  - Every random draw comes from a stream attached to one task type
+//    (service times), one workflow type (arrival gaps), or the serial
+//    control phase (start-up delays) — never from a shard. Streams are
+//    derived from the master seed by index, so they are identical no matter
+//    how types are grouped onto shards or threads.
+//  - Events owned by a type are only ever scheduled by that type's own
+//    handlers or by serial/barrier phases, so each type's event subsequence
+//    is totally ordered independently of what else shares its shard.
+//  - RoutedRecords carry an (emission time, stream, per-stream seq) key
+//    that does not mention shards; sorting the merged batch by that key
+//    fixes the delivery order globally.
+//
+// Consequence: the trajectory of a ShardedCluster is a function of
+// (seed, ensemble, window_length, sync_quantum) only — bit-identical for
+// every shard count >= 2 and every thread count, which the property tests
+// pin. It is intentionally NOT the serial engine's trajectory: the serial
+// engine interleaves all draws through two shared rng streams and applies
+// cross-type effects instantly, neither of which a zero-lookahead parallel
+// execution can reproduce. MicroserviceSystem therefore keeps shards=1 on
+// the untouched serial path and engages this engine only for shards >= 2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/spsc_ring.h"
+#include "sim/consumer_pool.h"
+#include "sim/dependency_service.h"
+#include "sim/engine.h"
+#include "sim/env.h"
+#include "sim/system.h"
+#include "sim/task_queue.h"
+
+namespace miras::common {
+class ThreadPool;
+}
+
+namespace miras::sim {
+
+class ShardedCluster {
+ public:
+  /// Requires config.shards >= 2. The ensemble must outlive the cluster.
+  ShardedCluster(const workflows::Ensemble* ensemble,
+                 const SystemConfig& config);
+
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  /// Shards run on `pool` workers when set (nullptr = serial execution).
+  /// Results are bit-identical either way.
+  void set_thread_pool(common::ThreadPool* pool) { pool_ = pool; }
+
+  std::vector<double> reset();
+  StepResult step(const std::vector<int>& allocation);
+  void reseed(std::uint64_t seed);
+  void inject_burst(const BurstSpec& burst);
+  void run_for(double seconds);
+
+  std::vector<double> observe_wip() const;
+  std::uint64_t live_tasks() const;
+  const SystemCounters& counters() const { return counters_; }
+  SimTime now() const { return now_; }
+  std::uint64_t executed_events() const;
+
+  /// Effective shard count (config.shards clamped to the task-type count).
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Effective synchronisation quantum in simulated seconds.
+  double sync_quantum() const { return quantum_; }
+
+ private:
+  enum class RecordKind : std::uint8_t { kCompletion = 0, kRoot = 1 };
+
+  /// One cross-type effect in flight between a shard and the next barrier.
+  /// (stream, seq) identifies the emission within its stream; streams are
+  /// task types (completions, stream = type id) and workflow arrival
+  /// streams (roots, stream = num_task_types + workflow id), so
+  /// (time, stream, seq) is a total order that never mentions shards.
+  struct RoutedRecord {
+    SimTime time = 0.0;
+    std::uint32_t stream = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t instance = 0;
+    std::uint32_t workflow_type = 0;
+    std::uint32_t node = 0;
+    RecordKind kind = RecordKind::kCompletion;
+  };
+
+  /// One task enqueue produced by the barrier, keyed by the position of its
+  /// originating record in the sorted batch plus its fan-out index.
+  struct DeliveryItem {
+    std::uint32_t pos = 0;
+    std::uint32_t sub = 0;
+    std::uint64_t instance = 0;
+    std::uint32_t workflow_type = 0;
+    std::uint32_t node = 0;
+    std::uint32_t task_type = 0;
+  };
+
+  /// Per-shard mutable state, cache-line aligned so neighbouring shards'
+  /// event loops never write the same line.
+  struct alignas(64) Shard {
+    explicit Shard(const workflows::Ensemble* ensemble)
+        : ring(kRingCapacity), deps(ensemble) {}
+
+    TypedEventQueue events;
+    common::SpscRing<RoutedRecord> ring;
+    std::vector<RoutedRecord> overflow;  // FIFO spill once the ring fills
+    DependencyService deps;              // instances homed on this shard
+    SystemCounters delta;                // folded into counters_ at barriers
+  };
+
+  static constexpr std::size_t kRingCapacity = 4096;
+
+  std::size_t owner_of_type(std::size_t task_type) const {
+    return task_type * shards_.size() / ensemble_->num_task_types();
+  }
+  std::size_t home_of_workflow(std::size_t workflow_type) const {
+    return workflow_type * shards_.size() / ensemble_->num_workflows();
+  }
+  std::uint32_t arrival_stream(std::size_t workflow_type) const {
+    return static_cast<std::uint32_t>(ensemble_->num_task_types() +
+                                      workflow_type);
+  }
+
+  void derive_streams(std::uint64_t seed);
+  void dispatch(Shard& shard, const Event& event);
+  void try_dispatch(std::size_t task_type, TypedEventQueue& events);
+  void emit(Shard& shard, const RoutedRecord& record);
+  void apply_allocation(const std::vector<int>& allocation);
+  void run_subwindow(SimTime until);
+  void advance_to(SimTime end);
+
+  const workflows::Ensemble* ensemble_;
+  SystemConfig config_;
+  double quantum_ = 0.0;
+  common::ThreadPool* pool_ = nullptr;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Per-task-type state; entry j is written only by owner_of_type(j)'s
+  // shard (or by serial phases), so sharing the flat arrays is race-free.
+  std::vector<TaskQueue> queues_;
+  std::vector<ConsumerPool> pools_;
+  std::vector<Rng> service_rngs_;
+  std::vector<std::uint64_t> completion_seq_;
+
+  // Per-workflow-type state; entry w is written only by its home shard.
+  std::vector<Rng> arrival_rngs_;
+  std::vector<double> arrival_rates_;
+  std::vector<std::uint64_t> root_seq_;
+  Rng control_rng_;  // start-up delays, drawn in the serial control phase
+
+  SimTime now_ = 0.0;
+  SystemCounters counters_;
+
+  // Barrier scratch, reused every sub-window (capacity only grows).
+  std::vector<RoutedRecord> merged_;
+  std::vector<std::vector<DeliveryItem>> items_;    // written by home shard
+  std::vector<std::vector<DeliveryItem>> deliver_;  // written by dst shard
+
+  // Window accumulators, same shapes and packing as the serial engine's.
+  std::vector<std::size_t> window_arrivals_;
+  std::vector<std::size_t> window_completed_;
+  std::vector<double> window_response_sum_;
+  std::vector<std::size_t> window_task_arrivals_;
+  std::vector<std::size_t> window_task_completions_;
+};
+
+}  // namespace miras::sim

@@ -1,0 +1,82 @@
+#include "workflows/generated.h"
+
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/rng.h"
+
+namespace miras::workflows {
+
+Ensemble make_generated_ensemble(const GeneratedOptions& options) {
+  MIRAS_EXPECTS(options.num_task_types > 0);
+  MIRAS_EXPECTS(options.num_workflows > 0);
+  MIRAS_EXPECTS(options.min_nodes >= 1);
+  MIRAS_EXPECTS(options.max_nodes >= options.min_nodes);
+  MIRAS_EXPECTS(options.service_mean_min > 0.0);
+  MIRAS_EXPECTS(options.service_mean_max >= options.service_mean_min);
+  MIRAS_EXPECTS(options.service_cv >= 0.0);
+  MIRAS_EXPECTS(options.extra_edge_prob >= 0.0 &&
+                options.extra_edge_prob <= 1.0);
+  MIRAS_EXPECTS(options.consumer_budget > 0);
+  MIRAS_EXPECTS(options.utilization > 0.0);
+
+  Rng rng(options.seed);
+  Ensemble ensemble("generated");
+
+  for (std::size_t j = 0; j < options.num_task_types; ++j) {
+    const double mean =
+        rng.uniform(options.service_mean_min, options.service_mean_max);
+    ensemble.add_task_type("Svc" + std::to_string(j),
+                           ServiceTimeModel::lognormal(mean,
+                                                       options.service_cv));
+  }
+
+  const auto last_type =
+      static_cast<std::int64_t>(options.num_task_types) - 1;
+  for (std::size_t w = 0; w < options.num_workflows; ++w) {
+    WorkflowGraph graph("Gen" + std::to_string(w));
+    const auto nodes = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_nodes),
+        static_cast<std::int64_t>(options.max_nodes)));
+    for (std::size_t i = 0; i < nodes; ++i)
+      graph.add_node(static_cast<std::size_t>(rng.uniform_int(0, last_type)));
+
+    // One guaranteed predecessor per non-first node keeps every node
+    // reachable from a root; extra forward edges add the fan-in/fan-out
+    // joins the dependency service has to resolve. Edges always point from
+    // a lower to a higher node index, so the graph is a DAG by construction.
+    std::vector<bool> has_edge(nodes * nodes, false);
+    for (std::size_t i = 1; i < nodes; ++i) {
+      const auto pred = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      graph.add_edge(pred, i);
+      has_edge[pred * nodes + i] = true;
+    }
+    for (std::size_t a = 0; a + 1 < nodes; ++a) {
+      for (std::size_t b = a + 1; b < nodes; ++b) {
+        // Always consume the draw so the stream position is independent of
+        // which edges happen to exist already.
+        const bool want = rng.uniform() < options.extra_edge_prob;
+        if (want && !has_edge[a * nodes + b]) {
+          graph.add_edge(a, b);
+          has_edge[a * nodes + b] = true;
+        }
+      }
+    }
+    ensemble.add_workflow(std::move(graph), 1.0);
+  }
+
+  // Normalise the per-workflow unit rates so the steady-state demand is a
+  // fixed fraction of the consumer budget: below 1.0 the system is feasible
+  // but loaded, which is the regime the throughput benches should exercise.
+  const double load = ensemble.offered_load();
+  MIRAS_ASSERT(load > 0.0);
+  ensemble.scale_arrival_rates(
+      options.utilization * static_cast<double>(options.consumer_budget) /
+      load);
+  ensemble.validate();
+  return ensemble;
+}
+
+}  // namespace miras::workflows

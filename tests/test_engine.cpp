@@ -12,113 +12,119 @@
 namespace miras::sim {
 namespace {
 
-TEST(EventQueue, StartsAtZero) {
-  EventQueue events;
+// Helper: an event whose target carries a small payload for order checks.
+Event tagged(std::uint32_t target) {
+  Event e;
+  e.type = EventType::kConsumerReady;
+  e.target = target;
+  return e;
+}
+
+TEST(TypedEventQueue, StartsAtZero) {
+  TypedEventQueue events;
   EXPECT_DOUBLE_EQ(events.now(), 0.0);
   EXPECT_EQ(events.pending_events(), 0u);
 }
 
-TEST(EventQueue, ExecutesInTimeOrder) {
-  EventQueue events;
-  std::vector<int> order;
-  events.schedule(3.0, [&] { order.push_back(3); });
-  events.schedule(1.0, [&] { order.push_back(1); });
-  events.schedule(2.0, [&] { order.push_back(2); });
-  events.run_until(10.0);
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+TEST(TypedEventQueue, ExecutesInTimeOrder) {
+  TypedEventQueue events;
+  events.schedule(3.0, tagged(3));
+  events.schedule(1.0, tagged(1));
+  events.schedule(2.0, tagged(2));
+  std::vector<std::uint32_t> order;
+  events.run_until(10.0, [&](Event&& e) { order.push_back(e.target); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 2, 3}));
   EXPECT_DOUBLE_EQ(events.now(), 10.0);
 }
 
-TEST(EventQueue, TiesBreakByInsertionOrder) {
-  EventQueue events;
-  std::vector<int> order;
-  events.schedule(5.0, [&] { order.push_back(1); });
-  events.schedule(5.0, [&] { order.push_back(2); });
-  events.schedule(5.0, [&] { order.push_back(3); });
-  events.run_until(5.0);
-  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
-}
-
-TEST(EventQueue, RunUntilStopsAtBoundary) {
-  EventQueue events;
+TEST(TypedEventQueue, RunUntilStopsAtBoundary) {
+  TypedEventQueue events;
   int fired = 0;
-  events.schedule(1.0, [&] { ++fired; });
-  events.schedule(2.0, [&] { ++fired; });
-  events.schedule(2.0001, [&] { ++fired; });
-  events.run_until(2.0);
+  events.schedule(1.0, tagged(0));
+  events.schedule(2.0, tagged(0));
+  events.schedule(2.0001, tagged(0));
+  events.run_until(2.0, [&](Event&&) { ++fired; });
   EXPECT_EQ(fired, 2);
   EXPECT_EQ(events.pending_events(), 1u);
-  events.run_until(3.0);
+  events.run_until(3.0, [&](Event&&) { ++fired; });
   EXPECT_EQ(fired, 3);
 }
 
-TEST(EventQueue, HandlersCanScheduleMoreEvents) {
-  EventQueue events;
+TEST(TypedEventQueue, DispatchCanScheduleMoreEvents) {
+  TypedEventQueue events;
   int chain = 0;
-  // Each handler schedules the next one 1s later: a 5-link chain.
-  std::function<void()> link = [&] {
-    ++chain;
-    if (chain < 5) events.schedule_in(1.0, link);
-  };
-  events.schedule(1.0, link);
-  events.run_until(10.0);
+  events.schedule(1.0, tagged(0));
+  // Each dispatch schedules the next event 1s later: a 5-link chain.
+  events.run_until(10.0, [&](Event&&) {
+    if (++chain < 5) events.schedule_in(1.0, tagged(0));
+  });
   EXPECT_EQ(chain, 5);
 }
 
-TEST(EventQueue, HandlerSchedulingAtCurrentTimeRunsInSameSweep) {
-  EventQueue events;
+TEST(TypedEventQueue, DispatchSchedulingAtCurrentTimeRunsInSameSweep) {
+  TypedEventQueue events;
   bool nested_ran = false;
-  events.schedule(1.0, [&] {
-    events.schedule(events.now(), [&] { nested_ran = true; });
+  events.schedule(1.0, tagged(1));
+  events.run_until(1.0, [&](Event&& e) {
+    if (e.target == 1)
+      events.schedule(events.now(), tagged(2));
+    else
+      nested_ran = true;
   });
-  events.run_until(1.0);
   EXPECT_TRUE(nested_ran);
 }
 
-TEST(EventQueue, ClockIsMonotonicInsideHandlers) {
-  EventQueue events;
+TEST(TypedEventQueue, BoundaryEqualScheduleIsAccepted) {
+  // The boundary-equal contract (engine.h): scheduling at exactly now() is
+  // legal even from *outside* a dispatch sweep. The sharded engine's merge
+  // phase relies on this — it delivers work stamped at exactly the
+  // sub-window boundary the receiving queue's clock already advanced to.
+  TypedEventQueue events;
+  events.run_until(5.0, [](Event&&) {});
+  EXPECT_DOUBLE_EQ(events.now(), 5.0);
+  EXPECT_NO_THROW(events.schedule(5.0, tagged(7)));
+  std::vector<std::uint32_t> order;
+  events.run_until(5.0, [&](Event&& e) { order.push_back(e.target); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{7}));
+  EXPECT_DOUBLE_EQ(events.now(), 5.0);
+  // And schedule_in(0) is the same operation phrased relatively.
+  EXPECT_NO_THROW(events.schedule_in(0.0, tagged(8)));
+  events.run_until(6.0, [&](Event&& e) { order.push_back(e.target); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{7, 8}));
+}
+
+TEST(TypedEventQueue, ClockIsMonotonicInsideDispatch) {
+  TypedEventQueue events;
   std::vector<SimTime> times;
-  for (const double t : {4.0, 1.0, 3.0, 2.0})
-    events.schedule(t, [&events, &times] { times.push_back(events.now()); });
-  events.run_until(5.0);
+  for (const double t : {4.0, 1.0, 3.0, 2.0}) events.schedule(t, tagged(0));
+  events.run_until(5.0, [&](Event&&) { times.push_back(events.now()); });
   for (std::size_t i = 1; i < times.size(); ++i)
     EXPECT_GE(times[i], times[i - 1]);
 }
 
-TEST(EventQueue, SchedulingInPastThrows) {
-  EventQueue events;
-  events.schedule(2.0, [] {});
-  events.run_until(5.0);
-  EXPECT_THROW(events.schedule(3.0, [] {}), ContractViolation);
-  EXPECT_THROW(events.schedule_in(-1.0, [] {}), ContractViolation);
+TEST(TypedEventQueue, SchedulingInPastThrows) {
+  TypedEventQueue events;
+  events.schedule(2.0, tagged(0));
+  events.run_until(5.0, [](Event&&) {});
+  EXPECT_THROW(events.schedule(3.0, tagged(0)), ContractViolation);
+  EXPECT_THROW(events.schedule_in(-1.0, tagged(0)), ContractViolation);
 }
 
-TEST(EventQueue, RunUntilBackwardsThrows) {
-  EventQueue events;
-  events.run_until(5.0);
-  EXPECT_THROW(events.run_until(4.0), ContractViolation);
+TEST(TypedEventQueue, RunUntilBackwardsThrows) {
+  TypedEventQueue events;
+  events.run_until(5.0, [](Event&&) {});
+  EXPECT_THROW(events.run_until(4.0, [](Event&&) {}), ContractViolation);
 }
 
-TEST(EventQueue, ResetDropsEventsAndRewindsClock) {
-  EventQueue events;
-  int fired = 0;
-  events.schedule(1.0, [&] { ++fired; });
-  events.reset();
-  EXPECT_DOUBLE_EQ(events.now(), 0.0);
-  EXPECT_EQ(events.pending_events(), 0u);
-  events.run_until(10.0);
-  EXPECT_EQ(fired, 0);
-}
-
-TEST(EventQueue, CountsExecutedEvents) {
-  EventQueue events;
-  for (int i = 0; i < 7; ++i) events.schedule(static_cast<double>(i), [] {});
-  events.run_until(100.0);
+TEST(TypedEventQueue, CountsExecutedEvents) {
+  TypedEventQueue events;
+  for (int i = 0; i < 7; ++i)
+    events.schedule(static_cast<double>(i), tagged(0));
+  events.run_until(100.0, [](Event&&) {});
   EXPECT_EQ(events.executed_events(), 7u);
 }
 
-// --- TypedEventQueue: the simulator's POD-event queue shares the clock and
-// (time, seq) contract with EventQueue; pin the contract on it directly.
+// --- TypedEventQueue payload/reset contracts.
 
 TEST(TypedEventQueue, DispatchesInTimeThenInsertionOrder) {
   TypedEventQueue events;
