@@ -52,6 +52,20 @@ struct BenchOptions {
   /// Resume training from this checkpoint before running any iterations.
   /// The resumed run continues bit-identically to one that never stopped.
   std::string resume;
+  /// Collector processes for distributed data collection (--collectors N).
+  /// 0 = the in-process engine, byte-identical to previous behaviour.
+  /// N >= 1 forks N collectors that execute the same fixed seed-sharded
+  /// collection schedule; results are bit-identical for any N and across
+  /// repeated runs (dist/learner.h).
+  std::size_t collectors = 0;
+  /// Transport for --collectors: "pipe" (socketpairs) or "file"
+  /// (append-only spool files). Empty = unset; resolves to pipe when
+  /// collectors are on, refused when given without --collectors.
+  std::string transport;
+  /// Chaos knob (--dist-kill-after N): SIGKILL collector 0 once N batches
+  /// have been folded, exercising the respawn path mid-run. The trace must
+  /// come out identical anyway. 0 = off.
+  std::size_t dist_kill_after = 0;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -79,11 +93,19 @@ inline BenchOptions parse_options(int argc, char** argv) {
       options.checkpoint_path = argv[++i];
     } else if (arg == "--resume" && i + 1 < argc) {
       options.resume = argv[++i];
+    } else if (arg == "--collectors" && i + 1 < argc) {
+      options.collectors = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--transport" && i + 1 < argc) {
+      options.transport = argv[++i];
+    } else if (arg == "--dist-kill-after" && i + 1 < argc) {
+      options.dist_kill_after = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
                 << " [--full] [--csv] [--seed N] [--dataset msd|ligo]"
                    " [--threads N] [--shards N] [--checkpoint-every N]"
-                   " [--checkpoint-path FILE] [--resume FILE]\n";
+                   " [--checkpoint-path FILE] [--resume FILE]"
+                   " [--collectors N] [--transport pipe|file]"
+                   " [--dist-kill-after N]\n";
       std::exit(0);
     }
   }

@@ -11,20 +11,38 @@
 // (~1 minute per dataset). --full: the paper's 11 iterations x 1000/2000
 // steps with 3x256 / 3x512 networks (hours).
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "bench_util.h"
 #include "core/miras_agent.h"
+#include "dist/learner.h"
 #include "workflows/ligo.h"
 #include "workflows/msd.h"
 
 namespace miras {
 namespace {
 
+/// Per-episode environment builder for the sharded/distributed collection
+/// path. Pure in the seed, so collectors reconstruct identical episodes.
+core::EnvFactory make_collection_factory(const std::string& name,
+                                         int budget) {
+  const bool msd = (name == "MSD");
+  return [msd, budget](std::uint64_t seed) -> std::unique_ptr<sim::Env> {
+    sim::SystemConfig env_config;
+    env_config.consumer_budget = budget;
+    env_config.seed = seed;
+    return std::make_unique<sim::MicroserviceSystem>(
+        msd ? workflows::make_msd_ensemble()
+            : workflows::make_ligo_ensemble(),
+        env_config);
+  };
+}
+
 void run_fig6(const std::string& name, workflows::Ensemble ensemble,
               int budget, core::MirasConfig config,
               const bench::BenchOptions& options, common::ThreadPool* pool,
-              std::ostream& out) {
+              core::CollectionBackend* backend, std::ostream& out) {
   sim::SystemConfig system_config;
   system_config.consumer_budget = budget;
   system_config.seed = options.seed;
@@ -42,6 +60,14 @@ void run_fig6(const std::string& name, workflows::Ensemble ensemble,
   // the section thread participates). Deterministic: the trace is
   // byte-identical at any --threads value.
   agent.enable_parallel_training(pool);
+  if (backend != nullptr) {
+    // Distributed collection executes the same fixed seed-sharded schedule
+    // as the in-process parallel engine, so the trace does not depend on
+    // the collector count — only on having left sequential mode.
+    agent.enable_parallel_collection(pool,
+                                     make_collection_factory(name, budget));
+    agent.enable_distributed_collection(backend);
+  }
   Table table({"iteration", "real_steps_total", "dataset_size",
                "model_train_loss", "eval_aggregate_reward"});
   bench::train_with_checkpoints(
@@ -113,6 +139,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Distributed-collection flag validation, mirroring the checkpoint
+  // refusals above: unsupported combinations exit 2 up front instead of
+  // failing mid-run.
+  if (options.collectors == 0 &&
+      (!options.transport.empty() || options.dist_kill_after > 0)) {
+    std::cerr << "fig6: --transport/--dist-kill-after require "
+                 "--collectors N with N >= 1\n";
+    return 2;
+  }
+  if (!options.transport.empty() && options.transport != "pipe" &&
+      options.transport != "file") {
+    std::cerr << "fig6: unknown --transport '" << options.transport
+              << "' (expected pipe or file)\n";
+    return 2;
+  }
+  if (options.collectors > 0 && sections.size() > 1) {
+    std::cerr << "fig6: --collectors applies to one training run; pick it "
+                 "with --dataset msd|ligo\n";
+    return 2;
+  }
+  if (options.collectors > 0 && options.shards >= 2) {
+    std::cerr << "fig6: --collectors and --shards >= 2 are incompatible; "
+                 "collector processes run the serial event engine\n";
+    return 2;
+  }
+
+  // Collector processes must be forked while this process is still
+  // single-threaded, so the pool is built before any ThreadPool exists.
+  std::unique_ptr<dist::CollectorPool> collector_pool;
+  if (options.collectors > 0) {
+    const Fig6Section& section = sections.front();
+    const std::uint64_t fingerprint =
+        core::config_fingerprint(section.config);
+    const core::EnvFactory factory =
+        make_collection_factory(section.name, section.budget);
+    dist::PoolOptions pool_options;
+    pool_options.collectors = options.collectors;
+    pool_options.config_fingerprint = fingerprint;
+    pool_options.kill_collector_after = options.dist_kill_after;
+    dist::SpawnFn spawn =
+        options.transport == "file"
+            ? dist::make_fork_file_spawner("fig6_dist_spool", section.config,
+                                           factory, fingerprint)
+            : dist::make_fork_pipe_spawner(section.config, factory,
+                                           fingerprint);
+    collector_pool = std::make_unique<dist::CollectorPool>(pool_options,
+                                                           std::move(spawn));
+  }
+
   // The two training traces are independent; run them concurrently with
   // buffered output, printed in dataset order so stdout never depends on
   // timing.
@@ -123,7 +198,8 @@ int main(int argc, char** argv) {
     const auto run_section = [&](std::size_t i) {
       Fig6Section& section = sections[i];
       run_fig6(section.name, std::move(section.ensemble), section.budget,
-               section.config, options, pool.get(), buffers[i]);
+               section.config, options, pool.get(), collector_pool.get(),
+               buffers[i]);
     };
     if (pool != nullptr) {
       pool->parallel_for(sections.size(), run_section);

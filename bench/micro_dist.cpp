@@ -1,0 +1,219 @@
+// Microbenchmarks of the distributed actor-learner plumbing
+// (google-benchmark): persist frame encode/decode, wire batch round trips,
+// the learner's replay-fold ingest path, and a live socketpair transport
+// ping. The fold paths are the ones the zero-allocation contract covers:
+// once warm, bytes_per_op must be exactly 0 (asserted by the CI floor on
+// BENCH_dist.json). Pass `--json <path>` to dump
+// {op, ns_per_op, bytes_per_op, iterations, transitions_per_sec} records.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "persist/binary_io.h"
+#include "persist/frame_stream.h"
+#include "rl/ddpg.h"
+
+namespace miras {
+namespace {
+
+constexpr std::size_t kStateDim = 6;
+constexpr std::size_t kActionDim = 6;
+constexpr std::size_t kBatchTransitions = 25;
+
+dist::BatchMsg make_batch(std::uint64_t seed) {
+  Rng rng(seed);
+  dist::BatchMsg batch;
+  batch.collector_id = 0;
+  batch.round = 1;
+  batch.batch_seq = 0;
+  batch.episode_index = 0;
+  batch.transitions.resize(kBatchTransitions);
+  for (envmodel::Transition& t : batch.transitions) {
+    t.state.resize(kStateDim);
+    for (double& s : t.state) s = rng.uniform(0.0, 40.0);
+    t.action.resize(kActionDim);
+    for (int& a : t.action) a = static_cast<int>(rng.uniform_int(0, 4));
+    t.next_state.resize(kStateDim);
+    for (double& s : t.next_state) s = rng.uniform(0.0, 40.0);
+    t.reward = rng.uniform(-5.0, 0.0);
+  }
+  return batch;
+}
+
+void set_transition_rate(benchmark::State& state) {
+  state.counters["transitions_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(kBatchTransitions),
+      benchmark::Counter::kIsRate);
+}
+
+// Frame one encoded batch and decode it back through the incremental
+// decoder. All buffers are reused, so the steady state allocates nothing.
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  persist::BinaryWriter message;
+  encode_batch(message, make_batch(3));
+  std::vector<std::uint8_t> frame;
+  std::vector<std::uint8_t> payload;
+  persist::FrameDecoder decoder;
+  // Warm pass sizes frame, payload, and the decoder's internal buffer.
+  persist::append_frame(frame, message.bytes().data(), message.size());
+  decoder.feed(frame.data(), frame.size());
+  (void)decoder.next(payload);
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    frame.clear();
+    persist::append_frame(frame, message.bytes().data(), message.size());
+    decoder.feed(frame.data(), frame.size());
+    const bool got = decoder.next(payload);
+    benchmark::DoNotOptimize(got);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  set_transition_rate(state);
+}
+BENCHMARK(BM_FrameEncodeDecode)->Unit(benchmark::kMicrosecond);
+
+// Wire-encode one Batch message and decode it into a reused scratch
+// message (the learner's decode path).
+void BM_WireBatchRoundTrip(benchmark::State& state) {
+  const dist::BatchMsg batch = make_batch(5);
+  persist::BinaryWriter out;
+  dist::BatchMsg scratch;
+  // Warm pass sizes the writer and the scratch message's vectors.
+  encode_batch(out, batch);
+  {
+    persist::BinaryReader in(out.bytes().data(), out.size(), "b");
+    (void)dist::decode_type(in);
+    decode_batch_into(in, scratch);
+  }
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    out.clear();
+    encode_batch(out, batch);
+    persist::BinaryReader in(out.bytes().data(), out.size(), "b");
+    (void)dist::decode_type(in);
+    decode_batch_into(in, scratch);
+    benchmark::DoNotOptimize(scratch.transitions.size());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  set_transition_rate(state);
+}
+BENCHMARK(BM_WireBatchRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// observe() takes the action as continuous weights; the wire carries the
+// discrete allocation. The fold loops convert through this reused buffer.
+void fold_transition(rl::DdpgAgent& agent, const envmodel::Transition& t,
+                     std::vector<double>& action) {
+  action.resize(t.action.size());
+  for (std::size_t j = 0; j < t.action.size(); ++j)
+    action[j] = static_cast<double>(t.action[j]);
+  agent.observe(t.state, action, t.reward, t.next_state);
+}
+
+rl::DdpgAgent make_fold_agent() {
+  rl::DdpgConfig config;
+  config.seed = 23;
+  config.replay_capacity = 512;
+  rl::DdpgAgent agent(kStateDim, kActionDim, /*consumer_budget=*/12, config);
+  // Fill the replay ring to capacity (plus the n-step window) so the timed
+  // loop overwrites slots instead of growing storage.
+  const dist::BatchMsg batch = make_batch(7);
+  std::vector<double> action;
+  for (std::size_t i = 0; i < config.replay_capacity + config.n_step; ++i) {
+    fold_transition(agent,
+                    batch.transitions[i % batch.transitions.size()], action);
+  }
+  return agent;
+}
+
+// The degenerate (no framing, no transport) replay-fold path: transitions
+// already in memory folded straight into the ring. This is the learner's
+// per-transition floor; bytes_per_op must be 0.
+void BM_ReplayFoldDirect(benchmark::State& state) {
+  rl::DdpgAgent agent = make_fold_agent();
+  const dist::BatchMsg batch = make_batch(7);
+  std::vector<double> action(kActionDim);
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    for (const envmodel::Transition& t : batch.transitions)
+      fold_transition(agent, t, action);
+    benchmark::DoNotOptimize(agent.replay_size());
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  set_transition_rate(state);
+}
+BENCHMARK(BM_ReplayFoldDirect)->Unit(benchmark::kMicrosecond);
+
+// The full learner ingest path: framed bytes -> FrameDecoder -> wire decode
+// into a reused scratch message -> replay fold. Still zero steady-state
+// allocations end to end.
+void BM_ReplayFoldFramed(benchmark::State& state) {
+  rl::DdpgAgent agent = make_fold_agent();
+  persist::BinaryWriter message;
+  encode_batch(message, make_batch(7));
+  std::vector<std::uint8_t> frame;
+  persist::append_frame(frame, message.bytes().data(), message.size());
+  persist::FrameDecoder decoder;
+  std::vector<std::uint8_t> payload;
+  dist::BatchMsg scratch;
+  std::vector<double> action(kActionDim);
+  // Warm pass sizes the decoder buffer, payload, and scratch vectors.
+  decoder.feed(frame.data(), frame.size());
+  (void)decoder.next(payload);
+  {
+    persist::BinaryReader in(payload.data(), payload.size(), "b");
+    (void)dist::decode_type(in);
+    decode_batch_into(in, scratch);
+  }
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    decoder.feed(frame.data(), frame.size());
+    const bool got = decoder.next(payload);
+    benchmark::DoNotOptimize(got);
+    persist::BinaryReader in(payload.data(), payload.size(), "b");
+    (void)dist::decode_type(in);
+    decode_batch_into(in, scratch);
+    for (const envmodel::Transition& t : scratch.transitions)
+      fold_transition(agent, t, action);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  set_transition_rate(state);
+}
+BENCHMARK(BM_ReplayFoldFramed)->Unit(benchmark::kMicrosecond);
+
+// One Batch message pushed through a real socketpair and read back on the
+// peer end (send syscall + poll + recv + reframe). Single-threaded ping:
+// the kernel buffer absorbs the frame, so no reader thread is needed.
+void BM_PipeTransport(benchmark::State& state) {
+  auto [learner_end, collector_end] = dist::make_socketpair_streams();
+  dist::MessageChannel sender(collector_end.get());
+  dist::MessageChannel receiver(learner_end.get());
+  persist::BinaryWriter message;
+  encode_batch(message, make_batch(9));
+  std::vector<std::uint8_t> payload;
+  // Warm ping sizes both channels' scratch buffers.
+  sender.send_message(message);
+  (void)receiver.poll_payload(payload, /*timeout_ms=*/1000);
+  const std::uint64_t alloc0 = bench::allocation_mark();
+  for (auto _ : state) {
+    sender.send_message(message);
+    const dist::RecvStatus status =
+        receiver.poll_payload(payload, /*timeout_ms=*/1000);
+    benchmark::DoNotOptimize(status);
+  }
+  bench::record_bytes_per_op(state, alloc0);
+  set_transition_rate(state);
+}
+BENCHMARK(BM_PipeTransport)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace miras
+
+int main(int argc, char** argv) {
+  return miras::bench::run_benchmarks(argc, argv);
+}

@@ -15,20 +15,6 @@
 
 namespace miras::core {
 
-namespace {
-// Exponential spacings: a uniform draw from the probability simplex.
-std::vector<double> random_simplex_weights(std::size_t dim, Rng& rng) {
-  std::vector<double> weights(dim);
-  double total = 0.0;
-  for (double& w : weights) {
-    w = rng.exponential(1.0);
-    total += w;
-  }
-  for (double& w : weights) w /= total;
-  return weights;
-}
-}  // namespace
-
 MirasAgent::MirasAgent(sim::Env* env, MirasConfig config)
     : env_(env),
       config_(std::move(config)),
@@ -64,6 +50,11 @@ void MirasAgent::enable_parallel_training(common::ThreadPool* pool,
   agent_.enable_parallel_training(pool, shards);
 }
 
+void MirasAgent::enable_distributed_collection(CollectionBackend* backend) {
+  MIRAS_EXPECTS(backend == nullptr || env_factory_ != nullptr);
+  collection_backend_ = backend;
+}
+
 void MirasAgent::for_each_shard(
     std::size_t count, const std::function<void(std::size_t)>& body) {
   if (pool_ != nullptr) {
@@ -73,43 +64,16 @@ void MirasAgent::for_each_shard(
   }
 }
 
-void MirasAgent::maybe_inject_collection_burst(sim::Env* env, Rng& rng) {
-  if (config_.collection_burst_probability <= 0.0) return;
-  if (rng.uniform() >= config_.collection_burst_probability) return;
-  auto* system = dynamic_cast<sim::MicroserviceSystem*>(env);
-  if (system == nullptr) return;
-  sim::BurstSpec burst;
-  burst.counts.resize(system->ensemble().num_workflows());
-  for (auto& count : burst.counts)
-    count = static_cast<std::size_t>(rng.uniform_int(
-        0, static_cast<std::int64_t>(config_.collection_burst_max)));
-  system->inject_burst(burst);
-}
-
 namespace {
-// Weight-to-allocation mapping shared by collection, synthetic training,
-// and the model-free trainer; mirrors DdpgAgent::act_allocation (including
-// the minReplicas-style guardrail) so behaviour and deployment match.
+// Local alias keeping the historical call sites readable.
 std::vector<int> to_allocation(const std::vector<double>& weights, int budget,
                                const rl::DdpgConfig& config) {
-  std::vector<int> allocation =
-      rl::allocation_from_weights(weights, budget, config.rounding);
-  if (config.min_consumers_per_type > 0 &&
-      budget >= config.min_consumers_per_type *
-                    static_cast<int>(allocation.size())) {
-    rl::enforce_minimum_allocation(allocation, config.min_consumers_per_type,
-                                   budget);
-  }
-  return allocation;
+  return collection_allocation(weights, budget, config);
 }
 }  // namespace
 
 MirasAgent::Behavior MirasAgent::pick_behavior(Rng& rng) {
-  const double u = rng.uniform();
-  if (u < config_.demo_episode_fraction) return Behavior::kDemo;
-  if (u < config_.demo_episode_fraction + config_.random_episode_fraction)
-    return Behavior::kRandom;
-  return Behavior::kPolicy;
+  return pick_collection_behavior(config_, rng);
 }
 
 std::vector<double> MirasAgent::behavior_weights(
@@ -118,18 +82,8 @@ std::vector<double> MirasAgent::behavior_weights(
   switch (behavior) {
     case Behavior::kRandom:
       return random_simplex_weights(env_->action_dim(), rng);
-    case Behavior::kDemo: {
-      // WIP-proportional demonstration (+1 keeps idle queues warm; mild
-      // noise varies the demonstrations between episodes).
-      std::vector<double> weights(state.size());
-      double total = 0.0;
-      for (std::size_t j = 0; j < state.size(); ++j) {
-        weights[j] = (std::max(state[j], 0.0) + 1.0) * rng.uniform(0.75, 1.25);
-        total += weights[j];
-      }
-      for (double& w : weights) w /= total;
-      return weights;
-    }
+    case Behavior::kDemo:
+      return demo_proportional_weights(state, rng);
     case Behavior::kPolicy:
       return snapshot != nullptr ? snapshot->act(state, rng)
                                  : agent_.act(state, /*explore=*/true);
@@ -139,12 +93,12 @@ std::vector<double> MirasAgent::behavior_weights(
 
 void MirasAgent::collect_real_interactions(std::size_t steps,
                                            bool random_actions) {
-  if (env_factory_) {
+  if (collection_backend_ != nullptr || env_factory_) {
     collect_real_interactions_sharded(steps, random_actions);
     return;
   }
   std::vector<double> state = env_->reset();
-  maybe_inject_collection_burst(env_, rng_);
+  maybe_inject_collection_burst(config_, env_, rng_);
   agent_.resample_exploration();
   Behavior behavior = random_actions ? Behavior::kRandom : pick_behavior(rng_);
   for (std::size_t step = 0; step < steps; ++step) {
@@ -163,51 +117,12 @@ void MirasAgent::collect_real_interactions(std::size_t steps,
 
     if ((step + 1) % config_.reset_interval == 0 && step + 1 < steps) {
       state = env_->reset();
-      maybe_inject_collection_burst(env_, rng_);
+      maybe_inject_collection_burst(config_, env_, rng_);
       agent_.resample_exploration();
       behavior =
           random_actions ? Behavior::kRandom : pick_behavior(rng_);
     }
   }
-}
-
-MirasAgent::CollectedEpisode MirasAgent::run_collection_episode(
-    const EpisodeSpec& spec, bool random_actions) {
-  // Every stochastic choice of the episode — environment arrivals, burst,
-  // behaviour, exploration — flows from the episode's shard seed, in a
-  // fixed draw order, so the episode is a pure function of its spec.
-  Rng ep_rng(spec.seed);
-  const std::uint64_t env_seed = ep_rng.next_u64();
-  // Recycle a pooled environment when it supports in-place reseeding
-  // (reseed ≡ fresh construction with env_seed); otherwise build one.
-  // Per-episode construction caused allocator contention across shards.
-  std::unique_ptr<sim::Env> env = env_pool_.try_acquire();
-  if (env == nullptr || !env->reseed(env_seed)) env = env_factory_(env_seed);
-  MIRAS_EXPECTS(env != nullptr);
-
-  std::vector<double> state = env->reset();
-  maybe_inject_collection_burst(env.get(), ep_rng);
-  const Behavior behavior =
-      random_actions ? Behavior::kRandom : pick_behavior(ep_rng);
-  std::optional<rl::ExplorationSnapshot> snapshot;
-  if (behavior == Behavior::kPolicy)
-    snapshot = agent_.snapshot_exploration(ep_rng);
-
-  CollectedEpisode episode;
-  episode.transitions.reserve(spec.length);
-  for (std::size_t step = 0; step < spec.length; ++step) {
-    const std::vector<double> weights = behavior_weights(
-        behavior, state, ep_rng, snapshot ? &*snapshot : nullptr);
-    const std::vector<int> allocation =
-        to_allocation(weights, env->consumer_budget(), config_.ddpg);
-    const sim::StepResult result = env->step(allocation);
-    episode.transitions.push_back(
-        envmodel::Transition{state, allocation, result.state, result.reward});
-    state = result.state;
-  }
-  if (snapshot) episode.constraint_violations = snapshot->constraint_violations();
-  env_pool_.release(std::move(env));
-  return episode;
 }
 
 void MirasAgent::collect_real_interactions_sharded(std::size_t steps,
@@ -218,15 +133,28 @@ void MirasAgent::collect_real_interactions_sharded(std::size_t steps,
   std::vector<EpisodeSpec> specs;
   for (std::size_t start = 0; start < steps; start += config_.reset_interval) {
     EpisodeSpec spec;
+    spec.index = specs.size();
     spec.length = std::min(config_.reset_interval, steps - start);
-    spec.seed = shard_seed(collection_root, specs.size());
+    spec.seed = shard_seed(collection_root, spec.index);
     specs.push_back(spec);
   }
 
-  std::vector<CollectedEpisode> episodes(specs.size());
-  for_each_shard(specs.size(), [&](std::size_t e) {
-    episodes[e] = run_collection_episode(specs[e], random_actions);
-  });
+  // The agent is frozen for the whole phase, so one pre-perturbation
+  // behaviour snapshot serves every episode; each episode's perturbation is
+  // still drawn from its own shard stream inside run_shard_episode, exactly
+  // as the per-episode snapshot_exploration() call used to.
+  const rl::BehaviorSnapshot behavior = agent_.behavior_snapshot();
+  std::vector<CollectedEpisode> episodes;
+  if (collection_backend_ != nullptr) {
+    episodes = collection_backend_->collect(specs, random_actions, behavior);
+    MIRAS_EXPECTS(episodes.size() == specs.size());
+  } else {
+    episodes.resize(specs.size());
+    for_each_shard(specs.size(), [&](std::size_t e) {
+      episodes[e] = run_shard_episode(specs[e], random_actions, behavior,
+                                      config_, env_factory_, &env_pool_);
+    });
+  }
 
   // Serial merge in episode order keeps the dataset's episode chaining and
   // the normaliser's update order deterministic.

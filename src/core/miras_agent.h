@@ -14,6 +14,7 @@
 
 #include "common/object_pool.h"
 #include "common/thread_pool.h"
+#include "core/collection.h"
 #include "core/trainer_config.h"
 #include "envmodel/dataset.h"
 #include "envmodel/dynamics_model.h"
@@ -45,7 +46,7 @@ class MirasAgent {
   /// in the seed (the seed enters only as the environment's master seed):
   /// the agent recycles environments across episodes via Env::reseed(),
   /// which is only equivalent to construction under that contract.
-  using EnvFactory = std::function<std::unique_ptr<sim::Env>(std::uint64_t)>;
+  using EnvFactory = ::miras::core::EnvFactory;
 
   /// `env` must outlive the agent.
   MirasAgent(sim::Env* env, MirasConfig config);
@@ -62,6 +63,15 @@ class MirasAgent {
   /// results. `pool` (if any) and `make_env` must outlive the agent.
   void enable_parallel_collection(common::ThreadPool* pool,
                                   EnvFactory make_env);
+
+  /// Delegates the execution of collection episodes to `backend` (e.g. a
+  /// dist::CollectorPool fanning them out to collector processes) instead
+  /// of the local pool. Requires enable_parallel_collection() first: the
+  /// backend executes the *same* fixed seed-sharded schedule, so results
+  /// stay bit-identical to the in-process parallel engine — only placement
+  /// changes. Pass nullptr to revert to local execution. `backend` must
+  /// outlive the agent.
+  void enable_distributed_collection(CollectionBackend* backend);
 
   /// Runs the gradient work — dynamics-model fit minibatches, refiner
   /// threshold scans, and DDPG updates — data-parallel on `pool` via the
@@ -118,18 +128,10 @@ class MirasAgent {
                            const std::string& path);
 
  private:
-  /// Episode-level behaviour used for exploration and data collection.
-  enum class Behavior { kPolicy, kRandom, kDemo };
+  /// Episode-level behaviour used for exploration and data collection
+  /// (shared with the sharded episode runner in collection.h).
+  using Behavior = CollectionBehavior;
 
-  /// One seed-sharded unit of real-environment collection.
-  struct EpisodeSpec {
-    std::size_t length = 0;
-    std::uint64_t seed = 0;
-  };
-  struct CollectedEpisode {
-    std::vector<envmodel::Transition> transitions;
-    std::size_t constraint_violations = 0;
-  };
   /// One step of a generated synthetic rollout, replayed serially through
   /// the DDPG updates after the batch is generated.
   struct SyntheticStep {
@@ -146,12 +148,9 @@ class MirasAgent {
                                        const std::vector<double>& state,
                                        Rng& rng,
                                        rl::ExplorationSnapshot* snapshot);
-  void maybe_inject_collection_burst(sim::Env* env, Rng& rng);
   void collect_real_interactions(std::size_t steps, bool random_actions);
   void collect_real_interactions_sharded(std::size_t steps,
                                          bool random_actions);
-  CollectedEpisode run_collection_episode(const EpisodeSpec& spec,
-                                          bool random_actions);
   void train_policy_on_model();
   void train_policy_on_model_sharded();
   /// Generates lanes [first, first+count) of one rollout batch in lockstep:
@@ -178,6 +177,7 @@ class MirasAgent {
   std::size_t iteration_ = 0;
   common::ThreadPool* pool_ = nullptr;
   EnvFactory env_factory_;
+  CollectionBackend* collection_backend_ = nullptr;
   /// Idle collection environments recycled across episodes (at most one per
   /// concurrent shard); reseed() makes the recycling invisible to results.
   common::ObjectPool<sim::Env> env_pool_;

@@ -1,0 +1,147 @@
+// Pluggable byte-stream transports for the distributed actor-learner
+// topology. A ByteStream is a bidirectional, reliable, ordered byte pipe
+// between the learner and one collector; the wire layer (wire.h) frames
+// persist-encoded messages over it and never cares which implementation
+// carries the bytes:
+//
+//  - FdStream:        a connected socketpair/pipe fd pair (fork-spawned
+//                     collector processes). EINTR-safe, poll-based timeouts.
+//  - FileQueueStream: two append-only spool files in a shared directory —
+//                     the fallback when no fd channel can be had (and a
+//                     debuggable on-disk trace of the whole conversation).
+//                     Peer liveness is checked via kill(pid, 0).
+//  - LoopbackStream:  an in-memory queue pair for thread-spawned collectors
+//                     and tests (no fork, so it is the TSan-friendly mode).
+#pragma once
+
+#include <sys/types.h>
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace miras::dist {
+
+enum class RecvStatus : std::uint8_t {
+  kData,     // one or more bytes were received
+  kTimeout,  // no data within the timeout; the stream is still open
+  kClosed,   // end-of-stream: the peer is gone and no bytes remain
+};
+
+struct RecvResult {
+  RecvStatus status = RecvStatus::kTimeout;
+  std::size_t bytes = 0;
+};
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Sends all `size` bytes (blocking until written). Throws
+  /// std::runtime_error when the peer is gone.
+  virtual void send(const void* data, std::size_t size) = 0;
+
+  /// Receives up to `max` bytes, waiting at most `timeout_ms` (0 = just
+  /// poll). Returns kData with bytes > 0, kTimeout, or kClosed.
+  virtual RecvResult recv_some(void* data, std::size_t max,
+                               int timeout_ms) = 0;
+};
+
+/// ByteStream over a connected fd (one end of a socketpair or a pipe pair).
+/// Owns and closes the fds. `read_fd` and `write_fd` may be the same fd.
+class FdStream final : public ByteStream {
+ public:
+  FdStream(int read_fd, int write_fd);
+  ~FdStream() override;
+
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  void send(const void* data, std::size_t size) override;
+  RecvResult recv_some(void* data, std::size_t max, int timeout_ms) override;
+
+  /// Closes the fds early (e.g. the parent's copy of a child's end).
+  void close_fds();
+
+ private:
+  int read_fd_;
+  int write_fd_;
+};
+
+/// Creates a connected AF_UNIX socketpair and wraps each end. first is
+/// conventionally the learner end, second the collector end; after fork,
+/// each process close_fds()es (or destroys) the end it does not use.
+std::pair<std::unique_ptr<FdStream>, std::unique_ptr<FdStream>>
+make_socketpair_streams();
+
+/// ByteStream over two append-only spool files: bytes sent are appended to
+/// `out_path`, bytes received are tailed from `in_path` (each file has
+/// exactly one writer and one reader, so plain appends + positional reads
+/// are race-free). recv_some treats "no new bytes" as kTimeout while the
+/// peer process is alive and as kClosed once it is gone (peer pid 0 =
+/// unknown peer, never reported closed).
+class FileQueueStream final : public ByteStream {
+ public:
+  FileQueueStream(std::string in_path, std::string out_path, pid_t peer_pid);
+  ~FileQueueStream() override;
+
+  FileQueueStream(const FileQueueStream&) = delete;
+  FileQueueStream& operator=(const FileQueueStream&) = delete;
+
+  void send(const void* data, std::size_t size) override;
+  RecvResult recv_some(void* data, std::size_t max, int timeout_ms) override;
+
+  void set_peer_pid(pid_t pid) { peer_pid_ = pid; }
+
+ private:
+  bool peer_alive() const;
+
+  std::string in_path_;
+  std::string out_path_;
+  pid_t peer_pid_;
+  int in_fd_ = -1;   // opened lazily: the peer may not have created it yet
+  int out_fd_ = -1;
+  std::size_t read_offset_ = 0;
+};
+
+/// In-memory ByteStream pair (A's sends are B's receives and vice versa).
+/// Thread-safe; used by thread-spawned collectors and the unit tests.
+class LoopbackStream final : public ByteStream {
+ public:
+  /// Two connected endpoints. Destroying either endpoint closes the
+  /// connection for the other (recv reports kClosed once drained, send
+  /// throws).
+  static std::pair<std::unique_ptr<LoopbackStream>,
+                   std::unique_ptr<LoopbackStream>>
+  make_pair();
+
+  ~LoopbackStream() override;
+
+  void send(const void* data, std::size_t size) override;
+  RecvResult recv_some(void* data, std::size_t max, int timeout_ms) override;
+
+  /// Bytes sent by this endpoint not yet received by the peer — what the
+  /// back-pressure tests bound.
+  std::size_t peer_unread_bytes() const;
+
+ private:
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::uint8_t> bytes;
+    bool writer_alive = true;
+    bool reader_alive = true;
+  };
+
+  LoopbackStream(std::shared_ptr<Channel> in, std::shared_ptr<Channel> out);
+
+  std::shared_ptr<Channel> in_;   // peer writes here, we read
+  std::shared_ptr<Channel> out_;  // we write here, peer reads
+};
+
+}  // namespace miras::dist

@@ -131,6 +131,18 @@ std::vector<int> BinaryReader::vec_i32() {
   return v;
 }
 
+void BinaryReader::vec_f64_into(std::vector<double>& out) {
+  const std::size_t count = checked_count(u64(), 8, remaining(), context_);
+  out.resize(count);
+  for (double& x : out) x = f64();
+}
+
+void BinaryReader::vec_i32_into(std::vector<int>& out) {
+  const std::size_t count = checked_count(u64(), 8, remaining(), context_);
+  out.resize(count);
+  for (int& x : out) x = static_cast<int>(static_cast<std::int64_t>(u64()));
+}
+
 void BinaryReader::expect_end() const {
   if (pos_ != size_)
     throw std::runtime_error("persist: " + std::to_string(size_ - pos_) +

@@ -36,6 +36,10 @@ class BinaryWriter {
   /// Raw bytes, no length prefix (caller frames them).
   void raw(const void* data, std::size_t size);
 
+  /// Drops the contents but keeps the capacity, so a writer reused as a
+  /// per-message scratch buffer stops allocating once warm.
+  void clear() { buf_.clear(); }
+
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
@@ -63,6 +67,12 @@ class BinaryReader {
   std::vector<double> vec_f64();
   std::vector<std::uint64_t> vec_u64();
   std::vector<int> vec_i32();
+
+  /// vec_* decoding into a caller-owned buffer (resized, capacity reused):
+  /// the same wire format, zero steady-state allocations when the element
+  /// count is stable across calls — the streaming ingest paths depend on it.
+  void vec_f64_into(std::vector<double>& out);
+  void vec_i32_into(std::vector<int>& out);
 
   std::size_t remaining() const { return size_ - pos_; }
   std::size_t position() const { return pos_; }

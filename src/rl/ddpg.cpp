@@ -79,6 +79,7 @@ DdpgAgent::DdpgAgent(std::size_t state_dim, std::size_t action_dim,
   MIRAS_EXPECTS(consumer_budget > 0);
   MIRAS_EXPECTS(config_.gamma >= 0.0 && config_.gamma < 1.0);
   MIRAS_EXPECTS(config_.tau > 0.0 && config_.tau <= 1.0);
+  pending_slots_.resize(std::max<std::size_t>(config_.n_step, 1));
 
   nn::MlpSpec actor_spec;
   actor_spec.input_dim = state_dim;
@@ -203,34 +204,89 @@ std::vector<int> DdpgAgent::act_allocation_greedy(
   return weights_to_allocation(act_greedy(state));
 }
 
-ExplorationSnapshot DdpgAgent::snapshot_exploration(Rng& rng) const {
-  ExplorationSnapshot snapshot;
-  snapshot.exploration_ = config_.exploration;
-  snapshot.epsilon_random_ = config_.epsilon_random;
-  snapshot.epsilon_demo_ = config_.epsilon_demo;
-  snapshot.action_noise_stddev_ = config_.action_noise_stddev;
-  snapshot.log_state_features_ = config_.log_state_features;
-  snapshot.consumer_budget_ = consumer_budget_;
-  snapshot.action_dim_ = action_dim_;
-  snapshot.policy_ = actor_;
-  if (config_.exploration == ExplorationMode::kParameterNoise)
-    snapshot.policy_.perturb_parameters(parameter_noise_.stddev(), rng);
+BehaviorSnapshot DdpgAgent::behavior_snapshot() const {
+  BehaviorSnapshot snap;
+  snap.exploration = config_.exploration;
+  snap.epsilon_random = config_.epsilon_random;
+  snap.epsilon_demo = config_.epsilon_demo;
+  snap.action_noise_stddev = config_.action_noise_stddev;
+  snap.parameter_noise_stddev = parameter_noise_.stddev();
+  snap.log_state_features = config_.log_state_features;
+  snap.consumer_budget = consumer_budget_;
+  snap.action_dim = action_dim_;
+  snap.policy = actor_;
   // Resolve the normaliser into a plain affine map so the snapshot neither
   // references the agent nor repeats the flooring logic per call.
-  snapshot.shift_.resize(state_dim_);
-  snapshot.scale_.resize(state_dim_);
+  snap.shift.resize(state_dim_);
+  snap.scale.resize(state_dim_);
   const double floor =
       config_.log_state_features ? kMinStddevLog : kMinStddevRaw;
   for (std::size_t j = 0; j < state_dim_; ++j) {
     if (state_stats_[j].count() < 2) {
-      snapshot.shift_[j] = 0.0;
-      snapshot.scale_[j] = 1.0;
+      snap.shift[j] = 0.0;
+      snap.scale[j] = 1.0;
     } else {
-      snapshot.shift_[j] = state_stats_[j].mean();
-      snapshot.scale_[j] = std::max(state_stats_[j].stddev(), floor);
+      snap.shift[j] = state_stats_[j].mean();
+      snap.scale[j] = std::max(state_stats_[j].stddev(), floor);
     }
   }
+  return snap;
+}
+
+ExplorationSnapshot BehaviorSnapshot::instantiate(Rng& rng) const {
+  ExplorationSnapshot snapshot;
+  snapshot.exploration_ = exploration;
+  snapshot.epsilon_random_ = epsilon_random;
+  snapshot.epsilon_demo_ = epsilon_demo;
+  snapshot.action_noise_stddev_ = action_noise_stddev;
+  snapshot.log_state_features_ = log_state_features;
+  snapshot.consumer_budget_ = consumer_budget;
+  snapshot.action_dim_ = action_dim;
+  snapshot.policy_ = policy;
+  if (exploration == ExplorationMode::kParameterNoise)
+    snapshot.policy_.perturb_parameters(parameter_noise_stddev, rng);
+  snapshot.shift_ = shift;
+  snapshot.scale_ = scale;
   return snapshot;
+}
+
+void BehaviorSnapshot::save_state(persist::BinaryWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(exploration));
+  out.f64(epsilon_random);
+  out.f64(epsilon_demo);
+  out.f64(action_noise_stddev);
+  out.f64(parameter_noise_stddev);
+  out.boolean(log_state_features);
+  out.i64(consumer_budget);
+  out.u64(action_dim);
+  nn::write_network(out, policy);
+  out.vec_f64(shift);
+  out.vec_f64(scale);
+}
+
+void BehaviorSnapshot::restore_state(persist::BinaryReader& in) {
+  const std::uint8_t mode = in.u8();
+  if (mode > static_cast<std::uint8_t>(ExplorationMode::kActionNoise))
+    throw std::runtime_error(
+        "persist: malformed exploration mode in behaviour snapshot");
+  exploration = static_cast<ExplorationMode>(mode);
+  epsilon_random = in.f64();
+  epsilon_demo = in.f64();
+  action_noise_stddev = in.f64();
+  parameter_noise_stddev = in.f64();
+  log_state_features = in.boolean();
+  consumer_budget = static_cast<int>(in.i64());
+  action_dim = static_cast<std::size_t>(in.u64());
+  policy = nn::read_network(in);
+  in.vec_f64_into(shift);
+  in.vec_f64_into(scale);
+  if (shift.size() != scale.size())
+    throw std::runtime_error(
+        "persist: behaviour snapshot normaliser shape mismatch");
+}
+
+ExplorationSnapshot DdpgAgent::snapshot_exploration(Rng& rng) const {
+  return behavior_snapshot().instantiate(rng);
 }
 
 const std::vector<double>& ExplorationSnapshot::normalize(
@@ -289,30 +345,38 @@ void DdpgAgent::observe(const std::vector<double>& state,
     min_reward_seen_ = std::min(min_reward_seen_, reward);
     max_reward_seen_ = std::max(max_reward_seen_, reward);
   }
-  pending_.push_back(Experience{state, action, reward, next_state, 0.0});
-  if (pending_.size() >= std::max<std::size_t>(config_.n_step, 1))
+  MIRAS_EXPECTS(pending_count_ < pending_slots_.size());
+  Experience& slot = pending_at(pending_count_);
+  slot.state.assign(state.begin(), state.end());
+  slot.action.assign(action.begin(), action.end());
+  slot.reward = reward;
+  slot.next_state.assign(next_state.begin(), next_state.end());
+  slot.discount = 0.0;
+  ++pending_count_;
+  if (pending_count_ >= std::max<std::size_t>(config_.n_step, 1))
     mature_front_transition();
 }
 
 void DdpgAgent::mature_front_transition() {
-  MIRAS_EXPECTS(!pending_.empty());
+  MIRAS_EXPECTS(pending_count_ > 0);
   // The front transition matures over the whole pending window:
   // R = sum_i gamma^i r_i, bootstrapping from the window's last next_state.
-  Experience matured = pending_.front();
+  const Experience& front = pending_slots_[pending_head_];
+  double reward = front.reward;
   double factor = config_.gamma;
-  for (std::size_t i = 1; i < pending_.size(); ++i) {
-    matured.reward += factor * pending_[i].reward;
+  for (std::size_t i = 1; i < pending_count_; ++i) {
+    reward += factor * pending_at(i).reward;
     factor *= config_.gamma;
   }
-  matured.next_state = pending_.back().next_state;
-  matured.discount = factor;
-  replay_.add(std::move(matured));
-  pending_.pop_front();
+  replay_.append_copy(front.state, front.action, reward,
+                      pending_at(pending_count_ - 1).next_state, factor);
+  pending_head_ = (pending_head_ + 1) % pending_slots_.size();
+  --pending_count_;
 }
 
 void DdpgAgent::end_episode() {
   // Mature the remaining transitions with progressively shorter horizons.
-  while (!pending_.empty()) mature_front_transition();
+  while (pending_count_ > 0) mature_front_transition();
 }
 
 void DdpgAgent::observe_state_only(const std::vector<double>& state) {
@@ -554,8 +618,9 @@ void DdpgAgent::save_state(persist::BinaryWriter& out) const {
 
   replay_.save_state(out);
 
-  out.u64(pending_.size());
-  for (const Experience& e : pending_) write_experience(out, e);
+  out.u64(pending_count_);
+  for (std::size_t i = 0; i < pending_count_; ++i)
+    write_experience(out, pending_at(i));
 
   out.f64(parameter_noise_.stddev());
 
@@ -608,9 +673,14 @@ void DdpgAgent::restore_state(persist::BinaryReader& in) {
   replay_.restore_state(in);
 
   const std::uint64_t pending_count = in.u64();
-  pending_.clear();
+  if (pending_count > pending_slots_.size())
+    throw std::runtime_error(
+        "checkpoint: pending n-step window larger than n_step — corrupted "
+        "data or config mismatch");
+  pending_head_ = 0;
+  pending_count_ = static_cast<std::size_t>(pending_count);
   for (std::uint64_t i = 0; i < pending_count; ++i)
-    pending_.push_back(read_experience(in));
+    pending_slots_[i] = read_experience(in);
 
   parameter_noise_.set_stddev(in.f64());
 

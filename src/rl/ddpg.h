@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -138,6 +137,7 @@ class ExplorationSnapshot {
 
  private:
   friend class DdpgAgent;
+  friend struct BehaviorSnapshot;
   ExplorationSnapshot() = default;
 
   /// Normalises into the reused norm_ buffer (valid until the next call).
@@ -161,6 +161,36 @@ class ExplorationSnapshot {
   // inside the network.
   nn::Workspace ws_;
   std::vector<double> norm_;
+};
+
+/// Serializable pre-perturbation behaviour state: everything needed to
+/// reproduce DdpgAgent::snapshot_exploration() away from the agent — the
+/// clean actor, the current parameter-noise stddev, the resolved normaliser
+/// map, and the exploration configuration. The agent's own
+/// snapshot_exploration(rng) is behavior_snapshot().instantiate(rng) by
+/// construction, so a collector process that receives this struct over the
+/// wire draws bit-identical episode behaviour to the in-process engine.
+struct BehaviorSnapshot {
+  ExplorationMode exploration = ExplorationMode::kNone;
+  double epsilon_random = 0.0;
+  double epsilon_demo = 0.0;
+  double action_noise_stddev = 0.0;
+  /// Perturbation scale to apply per episode (parameter-noise mode only).
+  double parameter_noise_stddev = 0.0;
+  bool log_state_features = true;
+  int consumer_budget = 0;
+  std::size_t action_dim = 0;
+  nn::Network policy;  // clean (unperturbed) actor
+  /// Resolved per-dimension affine normalisation (see ExplorationSnapshot).
+  std::vector<double> shift;
+  std::vector<double> scale;
+
+  /// Draws the per-episode perturbation (if any) from `rng` and returns the
+  /// ready-to-act frozen behaviour.
+  ExplorationSnapshot instantiate(Rng& rng) const;
+
+  void save_state(persist::BinaryWriter& out) const;
+  void restore_state(persist::BinaryReader& in);
 };
 
 class DdpgAgent {
@@ -191,8 +221,13 @@ class DdpgAgent {
 
   /// Captures the current exploring behaviour for one concurrently-run
   /// collection episode. The parameter-noise perturbation (if any) is drawn
-  /// from `rng`, not the agent's own stream.
+  /// from `rng`, not the agent's own stream. Equivalent to
+  /// behavior_snapshot().instantiate(rng).
   ExplorationSnapshot snapshot_exploration(Rng& rng) const;
+
+  /// The perturbation-free behaviour state backing snapshot_exploration():
+  /// what the distributed learner broadcasts to collectors.
+  BehaviorSnapshot behavior_snapshot() const;
 
   /// Folds the would-be violations counted by a snapshot episode back into
   /// the agent's tally (call serially, in deterministic episode order).
@@ -249,7 +284,7 @@ class DdpgAgent {
   /// the checkpoint contract check relies on that, though save_state()
   /// serialises the window anyway so mid-episode snapshots also restore
   /// faithfully.
-  std::size_t pending_transitions() const { return pending_.size(); }
+  std::size_t pending_transitions() const { return pending_count_; }
 
   /// Snapshot/restore of every mutable learning quantity — networks, target
   /// networks, optimiser moments, replay contents, n-step window, noise
@@ -272,6 +307,12 @@ class DdpgAgent {
 
  private:
   double state_feature(double raw) const;
+  Experience& pending_at(std::size_t i) {
+    return pending_slots_[(pending_head_ + i) % pending_slots_.size()];
+  }
+  const Experience& pending_at(std::size_t i) const {
+    return pending_slots_[(pending_head_ + i) % pending_slots_.size()];
+  }
   void mature_front_transition();
   std::vector<double> normalize_state(const std::vector<double>& state) const;
   std::vector<int> weights_to_allocation(
@@ -303,11 +344,14 @@ class DdpgAgent {
   nn::AdamOptimizer critic2_optimizer_;
 
   ReplayBuffer replay_;
-  // Sliding window of raw 1-step transitions awaiting n-step maturation.
-  // A deque: maturation pops the front while observe() pushes the back, so
-  // the window must not pay a shift of the whole tail per matured
-  // transition.
-  std::deque<Experience> pending_;
+  // Sliding window of raw 1-step transitions awaiting n-step maturation,
+  // as a fixed ring of reused Experience slots (capacity n_step — the
+  // window's invariant maximum): pushes copy into a slot's existing
+  // vectors and pops just advance the head, so the steady-state
+  // observe()/maturation path allocates nothing.
+  std::vector<Experience> pending_slots_;
+  std::size_t pending_head_ = 0;
+  std::size_t pending_count_ = 0;
   AdaptiveParameterNoise parameter_noise_;
   GaussianActionNoise action_noise_;
 

@@ -21,6 +21,23 @@ void ReplayBuffer::add(Experience experience) {
   write_index_ = (write_index_ + 1) % capacity_;
 }
 
+void ReplayBuffer::append_copy(const std::vector<double>& state,
+                               const std::vector<double>& action,
+                               double reward,
+                               const std::vector<double>& next_state,
+                               double discount) {
+  // Below capacity the write cursor always points just past the end (add()
+  // keeps them in lockstep), so the freshly grown slot *is* the cursor slot.
+  if (storage_.size() < capacity_) storage_.emplace_back();
+  Experience& slot = storage_[write_index_];
+  slot.state.assign(state.begin(), state.end());
+  slot.action.assign(action.begin(), action.end());
+  slot.reward = reward;
+  slot.next_state.assign(next_state.begin(), next_state.end());
+  slot.discount = discount;
+  write_index_ = (write_index_ + 1) % capacity_;
+}
+
 std::vector<const Experience*> ReplayBuffer::sample(std::size_t count,
                                                     Rng& rng) const {
   std::vector<const Experience*> batch;

@@ -35,6 +35,14 @@ class ReplayBuffer {
   /// Appends, overwriting the oldest entry once at capacity.
   void add(Experience experience);
 
+  /// add() by copying fields into the target slot's existing buffers: once
+  /// the ring is at capacity (and transition shapes are stable) appending
+  /// allocates nothing. The ingest paths that fold streamed transitions
+  /// into the ring use this instead of building a temporary Experience.
+  void append_copy(const std::vector<double>& state,
+                   const std::vector<double>& action, double reward,
+                   const std::vector<double>& next_state, double discount);
+
   /// Uniform sample *with replacement* of `count` experiences: indices are
   /// drawn independently, so the batch may repeat entries, and `count` may
   /// exceed size() (useful while the buffer is still warming up).
