@@ -342,7 +342,7 @@ std::vector<IterationTrace> MirasAgent::train() {
   return traces;
 }
 
-std::unique_ptr<rl::Policy> MirasAgent::make_policy() {
+std::unique_ptr<rl::Policy> MirasAgent::make_policy() const {
   return std::make_unique<DdpgPolicy>(&agent_, "miras");
 }
 
@@ -386,6 +386,15 @@ void MirasAgent::save_checkpoint(const std::string& path) const {
   persist::BinaryWriter ddpg;
   agent_.save_state(ddpg);
   ckpt.add_section("ddpg", std::move(ddpg));
+
+  // Serving-surface export: the greedy decision path alone (clean actor,
+  // resolved normaliser, action mapping), so serve::load_servable can hoist
+  // a production servable straight out of any training checkpoint without
+  // understanding the "ddpg" section. Adding a section is backward
+  // compatible (checkpoint.h).
+  persist::BinaryWriter servable;
+  rl::write_servable_export(servable, rl::servable_export(agent_));
+  ckpt.add_section("servable", std::move(servable));
 
   ckpt.write_file(path);
 }
@@ -488,7 +497,7 @@ rl::DdpgAgent train_model_free_ddpg(sim::Env& env,
   return agent;
 }
 
-DdpgPolicy::DdpgPolicy(rl::DdpgAgent* agent, std::string policy_name)
+DdpgPolicy::DdpgPolicy(const rl::DdpgAgent* agent, std::string policy_name)
     : agent_(agent), name_(std::move(policy_name)) {
   MIRAS_EXPECTS(agent != nullptr);
 }

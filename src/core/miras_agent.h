@@ -95,9 +95,10 @@ class MirasAgent {
 
   /// Greedy-policy view over the trained agent (valid while the agent
   /// lives).
-  std::unique_ptr<rl::Policy> make_policy();
+  std::unique_ptr<rl::Policy> make_policy() const;
 
   rl::DdpgAgent& ddpg() { return agent_; }
+  const rl::DdpgAgent& ddpg() const { return agent_; }
   const envmodel::TransitionDataset& dataset() const { return dataset_; }
   envmodel::DynamicsModel& model() { return model_; }
   envmodel::ModelRefiner& refiner() { return refiner_; }
@@ -196,16 +197,18 @@ struct ModelFreeConfig {
 rl::DdpgAgent train_model_free_ddpg(sim::Env& env, const ModelFreeConfig& config);
 
 /// Greedy policy over a DDPG agent (used for MIRAS and the model-free rl
-/// baseline alike). The agent must outlive the policy.
+/// baseline alike). The agent must outlive the policy. Holds the agent
+/// const: decide() only drives the read-only greedy act path, so a policy
+/// can wrap an agent someone else is still training (or a frozen one).
 class DdpgPolicy final : public rl::Policy {
  public:
-  DdpgPolicy(rl::DdpgAgent* agent, std::string policy_name);
+  DdpgPolicy(const rl::DdpgAgent* agent, std::string policy_name);
   std::string name() const override { return name_; }
   std::vector<int> decide(const sim::WindowStats& last_window,
                           int budget) override;
 
  private:
-  rl::DdpgAgent* agent_;
+  const rl::DdpgAgent* agent_;
   std::string name_;
 };
 

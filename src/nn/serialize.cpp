@@ -7,7 +7,6 @@
 #include <stdexcept>
 #include <string>
 
-#include "common/logging.h"
 #include "persist/crc32.h"
 
 namespace miras::nn {
@@ -19,42 +18,6 @@ namespace {
 constexpr char kNetworkMagic[8] = {'M', 'I', 'R', 'A', 'S', 'N', 'E', 'T'};
 constexpr char kCriticMagic[8] = {'M', 'I', 'R', 'A', 'S', 'C', 'R', 'T'};
 constexpr std::uint32_t kNetworkFormatVersion = 1;
-
-// Legacy text magics (load-only; removal scheduled for the next release).
-constexpr const char* kNetworkTextMagic = "miras-network-v1";
-constexpr const char* kCriticTextMagic = "miras-critic-v1";
-
-std::vector<DenseLayer> read_text_layers(std::istream& in) {
-  std::size_t num_layers = 0;
-  if (!(in >> num_layers) || num_layers == 0)
-    throw std::runtime_error("serialize: bad layer count");
-  std::vector<DenseLayer> layers;
-  layers.reserve(num_layers);
-  for (std::size_t l = 0; l < num_layers; ++l) {
-    std::size_t in_dim = 0, out_dim = 0;
-    std::string act_name;
-    if (!(in >> in_dim >> out_dim >> act_name) || in_dim == 0 || out_dim == 0)
-      throw std::runtime_error("serialize: bad layer header");
-    Tensor weights(in_dim, out_dim);
-    for (std::size_t i = 0; i < weights.size(); ++i)
-      if (!(in >> weights.data()[i]))
-        throw std::runtime_error("serialize: truncated weights");
-    Tensor bias(1, out_dim);
-    for (std::size_t i = 0; i < bias.size(); ++i)
-      if (!(in >> bias.data()[i]))
-        throw std::runtime_error("serialize: truncated bias");
-    layers.emplace_back(std::move(weights), std::move(bias),
-                        activation_from_name(act_name));
-  }
-  // The legacy reader used to stop here and silently ignore whatever
-  // followed; any further token is now an error.
-  std::string trailing;
-  if (in >> trailing)
-    throw std::runtime_error(
-        "serialize: trailing garbage after network payload ('" + trailing +
-        "...') — refusing to ignore it");
-  return layers;
-}
 
 std::string read_all(std::istream& in) {
   std::ostringstream buffer;
@@ -120,31 +83,21 @@ bool has_magic(const std::string& contents, const char magic[8]) {
   return contents.size() >= 8 && std::memcmp(contents.data(), magic, 8) == 0;
 }
 
-std::vector<DenseLayer> load_layers_any_format(std::istream& in,
-                                               const char binary_magic[8],
-                                               const char* text_magic,
-                                               const char* what) {
+std::vector<DenseLayer> load_binary_layers(std::istream& in,
+                                           const char binary_magic[8],
+                                           const char* what) {
   const std::string contents = read_all(in);
-  if (has_magic(contents, binary_magic)) {
-    persist::BinaryReader payload =
-        open_binary_container(binary_magic, contents, what);
-    std::vector<DenseLayer> layers = read_layers(payload);
-    payload.expect_end();
-    return layers;
-  }
-  // Legacy text fallback (deprecated): accepted for one more release so
-  // existing saved models keep loading; re-save to migrate.
-  std::istringstream text(contents);
-  std::string token;
-  if ((text >> token) && token == text_magic) {
-    log_warn("serialize: loading deprecated text-format ", what,
-             "; re-save to migrate to the binary format (text loading will "
-             "be removed next release)");
-    return read_text_layers(text);
-  }
-  throw std::runtime_error(std::string("serialize: expected a binary ") +
-                           what + " container or '" + text_magic +
-                           "', got '" + token + "'");
+  if (!has_magic(contents, binary_magic))
+    throw std::runtime_error(std::string("serialize: expected a binary ") +
+                             what +
+                             " container — the pre-persist text format was "
+                             "removed; re-save old models with a build that "
+                             "still reads it");
+  persist::BinaryReader payload =
+      open_binary_container(binary_magic, contents, what);
+  std::vector<DenseLayer> layers = read_layers(payload);
+  payload.expect_end();
+  return layers;
 }
 
 }  // namespace
@@ -219,8 +172,7 @@ void save_network(const Network& net, std::ostream& out) {
 }
 
 Network load_network(std::istream& in) {
-  return Network(load_layers_any_format(in, kNetworkMagic, kNetworkTextMagic,
-                                        "network"));
+  return Network(load_binary_layers(in, kNetworkMagic, "network"));
 }
 
 void save_critic(const CriticNetwork& net, std::ostream& out) {
@@ -230,8 +182,7 @@ void save_critic(const CriticNetwork& net, std::ostream& out) {
 }
 
 CriticNetwork load_critic(std::istream& in) {
-  return CriticNetwork(load_layers_any_format(in, kCriticMagic,
-                                              kCriticTextMagic, "critic"));
+  return CriticNetwork(load_binary_layers(in, kCriticMagic, "critic"));
 }
 
 }  // namespace miras::nn

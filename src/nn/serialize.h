@@ -8,10 +8,10 @@
 //    state snapshots.
 //  - Stream-facing save_network/load_network (and critic variants): a
 //    self-contained single-network file — 8-byte magic, format version,
-//    CRC-32-guarded payload. load_* also still accepts the pre-persist
-//    text format ("miras-network-v1"/"miras-critic-v1"); that path is
-//    DEPRECATED, warns via log_warn, and will be removed next release.
-//    Both paths reject trailing garbage instead of silently ignoring it.
+//    CRC-32-guarded payload. Trailing garbage after the payload is
+//    rejected, never silently ignored. (The pre-persist text format
+//    "miras-network-v1"/"miras-critic-v1", deprecated in the release that
+//    introduced the binary container, is no longer read.)
 #pragma once
 
 #include <iosfwd>
@@ -38,9 +38,8 @@ CriticNetwork read_critic(persist::BinaryReader& in);
 /// Writes the binary single-network container to `out`.
 void save_network(const Network& net, std::ostream& out);
 
-/// Reconstructs a Network saved with save_network(). Accepts the current
-/// binary format and (deprecated, with a warning) the legacy text format.
-/// Throws std::runtime_error on malformed input, CRC mismatch, an
+/// Reconstructs a Network saved with save_network() (binary container
+/// only). Throws std::runtime_error on malformed input, CRC mismatch, an
 /// unsupported future version, or trailing garbage after the payload.
 Network load_network(std::istream& in);
 

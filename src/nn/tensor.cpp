@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/contracts.h"
+#include "nn/kernels.h"
 
 namespace miras::nn {
 
@@ -73,48 +74,17 @@ void Tensor::matmul_into(const Tensor& other, Tensor& out) const {
   MIRAS_EXPECTS(&out != this && &out != &other);
   const std::size_t m = rows_, k = cols_, n = other.cols_;
   out.resize(m, n);
-  out.fill(0.0);
-  const double* a_data = data_.data();
-  const double* b_data = other.data_.data();
-  double* out_data = out.data_.data();
-  // Register-blocked inner loop: four rows of A advance together, so each
-  // streamed row of B is loaded once and reused four times. Per-element
-  // accumulation still runs p ascending, so results are bit-identical to
-  // the plain i-k-j loop (batch results must not depend on layout).
-  std::size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const double* a0 = a_data + (i + 0) * k;
-    const double* a1 = a_data + (i + 1) * k;
-    const double* a2 = a_data + (i + 2) * k;
-    const double* a3 = a_data + (i + 3) * k;
-    double* o0 = out_data + (i + 0) * n;
-    double* o1 = out_data + (i + 1) * n;
-    double* o2 = out_data + (i + 2) * n;
-    double* o3 = out_data + (i + 3) * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-      // ReLU activations zero whole columns often enough to pay for this.
-      if (v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0) continue;
-      const double* b_row = b_data + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const double b = b_row[j];
-        o0[j] += v0 * b;
-        o1[j] += v1 * b;
-        o2[j] += v2 * b;
-        o3[j] += v3 * b;
-      }
-    }
+  // Kernel selection (nn/kernels.h): m == 1 is the single-request inference
+  // shape and routes to the dedicated GEMV; batched shapes route to the
+  // GEMM. Within either build the two share one per-element reduction
+  // order, preserving the invariant that batch results never depend on
+  // layout or kernel choice; only the native build's order differs from
+  // the default build's (lane-split vs ascending).
+  if (m == 1) {
+    kern::gemv(data_.data(), other.data_.data(), out.data_.data(), k, n);
+    return;
   }
-  for (; i < m; ++i) {
-    const double* a_row = a_data + i * k;
-    double* out_row = out_data + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double a = a_row[p];
-      if (a == 0.0) continue;
-      const double* b_row = b_data + p * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += a * b_row[j];
-    }
-  }
+  kern::gemm(data_.data(), other.data_.data(), out.data_.data(), m, k, n);
 }
 
 Tensor Tensor::transposed_matmul(const Tensor& other) const {

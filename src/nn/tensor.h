@@ -14,6 +14,13 @@
 // batch. This is what makes batched forward passes bit-identical to
 // row-at-a-time passes (see DESIGN.md §5) — blocked kernels may reorder
 // *across* output elements but never within one.
+//
+// matmul_into dispatches through nn/kernels.h: the default build keeps the
+// ascending order everywhere and is byte-identical to historical results;
+// under MIRAS_NATIVE both the GEMV and the GEMM switch to a four-lane split
+// accumulation with one fixed combine order, so the invariant still holds
+// within that build (batched ≡ row-at-a-time, bitwise) but native results
+// differ from default-build results by rounding (see kernels.h).
 #pragma once
 
 #include <cstddef>

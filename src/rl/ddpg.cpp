@@ -707,4 +707,28 @@ void DdpgAgent::restore_state(persist::BinaryReader& in) {
   constraint_violations_ = in.u64();
 }
 
+ServableExport servable_export(const DdpgAgent& agent) {
+  return ServableExport{agent.behavior_snapshot(), agent.config().rounding,
+                        agent.config().min_consumers_per_type};
+}
+
+void write_servable_export(persist::BinaryWriter& out,
+                           const ServableExport& exported) {
+  exported.behavior.save_state(out);
+  out.u8(static_cast<std::uint8_t>(exported.rounding));
+  out.i64(exported.min_consumers_per_type);
+}
+
+ServableExport read_servable_export(persist::BinaryReader& in) {
+  ServableExport exported;
+  exported.behavior.restore_state(in);
+  const std::uint8_t mode = in.u8();
+  if (mode > static_cast<std::uint8_t>(RoundingMode::kLargestRemainder))
+    throw std::runtime_error(
+        "persist: malformed rounding mode in servable export");
+  exported.rounding = static_cast<RoundingMode>(mode);
+  exported.min_consumers_per_type = static_cast<int>(in.i64());
+  return exported;
+}
+
 }  // namespace miras::rl

@@ -303,7 +303,6 @@ class DdpgAgent {
 
   const nn::Network& actor() const { return actor_; }
   const nn::CriticNetwork& critic() const { return critic_; }
-  nn::Network& mutable_actor() { return actor_; }
 
  private:
   double state_feature(double raw) const;
@@ -386,5 +385,26 @@ class DdpgAgent {
   std::vector<nn::TrainPass> actor_passes_;
   std::vector<double> act_scratch_;
 };
+
+/// Everything the serving layer (src/serve) needs to reproduce the agent's
+/// greedy decision path away from the agent: the behaviour snapshot (clean
+/// actor + resolved normaliser) plus the weights→allocation mapping config.
+/// This is the payload of the "servable" checkpoint section, written by
+/// MirasAgent::save_checkpoint and by serve::save_servable, and read by
+/// serve::load_servable — training checkpoints and standalone servable
+/// files share the encoding.
+struct ServableExport {
+  BehaviorSnapshot behavior;
+  RoundingMode rounding = RoundingMode::kFloor;
+  int min_consumers_per_type = 1;
+};
+
+/// Captures the export from a read-only agent (the act path is fully
+/// const: behavior_snapshot(), act_greedy(), and friends never mutate).
+ServableExport servable_export(const DdpgAgent& agent);
+
+void write_servable_export(persist::BinaryWriter& out,
+                           const ServableExport& exported);
+ServableExport read_servable_export(persist::BinaryReader& in);
 
 }  // namespace miras::rl

@@ -1,0 +1,183 @@
+#include "serve/admission.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "common/contracts.h"
+
+namespace miras::serve {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+BatchServer::BatchServer(const ActorServable& servable, AdmissionConfig config)
+    : servable_(servable),
+      config_(config),
+      telemetry_(config.telemetry_capacity) {
+  MIRAS_EXPECTS(config_.max_batch >= 1);
+  MIRAS_EXPECTS(config_.queue_capacity >= 1);
+  slots_.resize(config_.queue_capacity);
+  free_.reserve(config_.queue_capacity);
+  for (std::size_t i = config_.queue_capacity; i-- > 0;) free_.push_back(i);
+  pending_.resize(config_.queue_capacity);
+  batch_idx_.reserve(config_.max_batch);
+  // Warm the pass scratch to its maximum shape once so run_pass never grows
+  // a buffer at steady state.
+  batch_in_.resize(config_.max_batch, servable_.state_dim());
+  batch_out_.resize(config_.max_batch, servable_.action_dim());
+  batch_in_.fill(0.0);
+  // Dry-run both pass shapes so the workspace and scratch buffers reach
+  // their steady-state sizes before the first real request.
+  const std::shared_ptr<const ActorSnapshot> snap = servable_.acquire();
+  snap->policy.predict_batch(batch_in_, batch_ws_, batch_out_);
+  const std::vector<double> zero_state(servable_.state_dim(), 0.0);
+  std::vector<double> warm_out;
+  snap->decide(zero_state, scratch_, warm_out);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+BatchServer::~BatchServer() { stop(); }
+
+std::uint64_t BatchServer::decide(const std::vector<double>& state,
+                                  std::vector<double>& weights_out) {
+  MIRAS_EXPECTS(state.size() == servable_.state_dim());
+  std::size_t idx;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    slot_free_.wait(lock,
+                    [this] { return !free_.empty() || stop_requested_; });
+    if (stop_requested_) {
+      ++dropped_;
+      throw std::runtime_error("serve: BatchServer stopped");
+    }
+    idx = free_.back();
+    free_.pop_back();
+    RequestSlot& slot = slots_[idx];
+    slot.state = &state;
+    slot.out = &weights_out;
+    slot.enqueue_ns = steady_now_ns();
+    slot.version = 0;
+    slot.done = false;
+    pending_[(pending_head_ + pending_count_) % pending_.size()] = idx;
+    ++pending_count_;
+    work_ready_.notify_one();
+    result_ready_.wait(lock, [&] { return slots_[idx].done; });
+    const std::uint64_t version = slots_[idx].version;
+    slots_[idx].state = nullptr;
+    slots_[idx].out = nullptr;
+    free_.push_back(idx);
+    ++served_;
+    slot_free_.notify_one();
+    return version;
+  }
+}
+
+void BatchServer::worker_loop() {
+  for (;;) {
+    std::size_t take;
+    std::uint32_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(
+          lock, [this] { return pending_count_ > 0 || stop_requested_; });
+      if (pending_count_ == 0) return;  // stop requested and fully drained
+      if (last_pass_full_ && config_.batch_window_us > 0 &&
+          pending_count_ < config_.max_batch && !stop_requested_) {
+        // Under sustained load, give the clients just released by the last
+        // pass a bounded moment to re-enqueue so the batch forms fully.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(config_.batch_window_us);
+        work_ready_.wait_until(lock, deadline, [this] {
+          return pending_count_ >= config_.max_batch || stop_requested_;
+        });
+      }
+      depth = static_cast<std::uint32_t>(pending_count_);
+      take = pending_count_ < config_.max_batch ? pending_count_
+                                                : config_.max_batch;
+      batch_idx_.clear();
+      for (std::size_t i = 0; i < take; ++i) {
+        batch_idx_.push_back(pending_[pending_head_]);
+        pending_head_ = (pending_head_ + 1) % pending_.size();
+        --pending_count_;
+      }
+      last_pass_full_ = take >= config_.max_batch;
+    }
+    // The admitted slots belong to this pass alone until done is set, so
+    // the forward pass runs outside the lock.
+    run_pass(take, depth);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (std::size_t i = 0; i < take; ++i) slots_[batch_idx_[i]].done = true;
+    }
+    result_ready_.notify_all();
+  }
+}
+
+void BatchServer::run_pass(std::size_t take, std::uint32_t depth) {
+  // ONE snapshot pin per pass: a hot-swap can land between passes, never
+  // inside one, so every row of the batch is served by the same version.
+  const std::shared_ptr<const ActorSnapshot> snap = servable_.acquire();
+  const std::uint64_t oldest_ns = slots_[batch_idx_[0]].enqueue_ns;
+
+  if (take == 1) {
+    // Single-request fast path: GEMV through the per-worker scratch.
+    RequestSlot& slot = slots_[batch_idx_[0]];
+    snap->decide(*slot.state, scratch_, *slot.out);
+    slot.version = snap->version;
+  } else {
+    const std::size_t state_dim = snap->state_dim();
+    const std::size_t action_dim = snap->action_dim;
+    batch_in_.resize(take, state_dim);
+    for (std::size_t i = 0; i < take; ++i)
+      snap->normalize_into(slots_[batch_idx_[i]].state->data(),
+                           &batch_in_(i, 0));
+    snap->policy.predict_batch(batch_in_, batch_ws_, batch_out_);
+    for (std::size_t i = 0; i < take; ++i) {
+      RequestSlot& slot = slots_[batch_idx_[i]];
+      const double* row = &batch_out_(i, 0);
+      slot.out->assign(row, row + action_dim);
+      slot.version = snap->version;
+    }
+  }
+
+  const std::uint64_t now = steady_now_ns();
+  TelemetryRecord rec;
+  rec.timestamp_ns = now;
+  rec.latency_ns = now > oldest_ns ? now - oldest_ns : 0;
+  rec.snapshot_version = snap->version;
+  rec.queue_depth = depth;
+  rec.batch_size = static_cast<std::uint32_t>(take);
+  telemetry_.record(rec);
+}
+
+void BatchServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_ && !worker_.joinable()) return;
+    stop_requested_ = true;
+  }
+  work_ready_.notify_all();
+  if (worker_.joinable()) worker_.join();  // drains everything admitted
+  // Reject clients still waiting for a free slot (they re-check the flag).
+  slot_free_.notify_all();
+}
+
+std::uint64_t BatchServer::served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return served_;
+}
+
+std::uint64_t BatchServer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace miras::serve

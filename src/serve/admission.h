@@ -1,0 +1,141 @@
+// Batched admission in front of an ActorServable.
+//
+// Under load, many concurrent clients each need one greedy decision. Served
+// one by one, every request streams the full actor weight matrices through
+// the cache for a single GEMV row. The BatchServer instead coalesces
+// whatever is queued (up to max_batch) into ONE lockstep forward pass: the
+// worker normalises the admitted states into rows of a reused input tensor
+// and runs predict_batch — one GEMM that streams the weights once for the
+// whole batch. With exactly one request queued it degrades to the GEMV
+// fast path (predict_one), so light load pays no batching tax.
+//
+// Batching never changes answers: the kernel invariant (nn/tensor.h)
+// makes predict_batch row-for-row bit-identical to predict_one, and the
+// worker acquires ONE snapshot per pass, so a batch is never torn across a
+// hot-swap — every row of a pass is served by the same version, and
+// decide() reports which.
+//
+// Concurrency shape: a fixed pool of request slots (queue_capacity), a free
+// stack, and a FIFO pending ring, all preallocated — the steady-state
+// admission path allocates nothing. One mutex guards the queues; three
+// condvars split the wakeups (slot_free_ for admission backpressure,
+// work_ready_ for the worker, result_ready_ for completion). Clients block
+// in decide() until their slot completes; stop() drains everything already
+// admitted (zero dropped decisions for admitted work), then rejects
+// waiters and later calls with an exception, counted in dropped().
+//
+// Each pass appends one TelemetryRecord (queue depth at admission, batch
+// size, oldest-request latency, serving snapshot version) to an internal
+// TelemetryRing; drain it with telemetry().snapshot().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "nn/workspace.h"
+#include "serve/servable.h"
+#include "serve/telemetry_ring.h"
+
+namespace miras::serve {
+
+struct AdmissionConfig {
+  /// Max requests coalesced into one forward pass.
+  std::size_t max_batch = 8;
+  /// Request slots (max requests admitted at once); clients beyond this
+  /// block until a slot frees.
+  std::size_t queue_capacity = 64;
+  /// TelemetryRing capacity (rounded up to a power of two).
+  std::size_t telemetry_capacity = 1024;
+  /// Adaptive batch-formation window: when the PREVIOUS pass was full (the
+  /// system is under sustained load), the worker waits up to this long for
+  /// the next batch to fill before admitting a partial one. Without it,
+  /// clients released by a full pass re-enqueue a few microseconds apart
+  /// and the worker — already awake — would admit ragged 1-2 request
+  /// batches, forfeiting the coalescing the queue exists for. After a
+  /// NON-full pass the worker admits immediately, so light-load requests
+  /// (the GEMV fast path) never pay the window. 0 disables.
+  std::uint32_t batch_window_us = 50;
+};
+
+class BatchServer {
+ public:
+  /// Starts the worker thread. `servable` must outlive the server; publish
+  /// on it freely while the server runs (hot-swap).
+  BatchServer(const ActorServable& servable, AdmissionConfig config);
+
+  /// Stops and joins the worker (draining admitted requests first).
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Blocking greedy decision: enqueues `state`, waits for the batch it
+  /// lands in, writes the simplex weights into `weights_out` (resized), and
+  /// returns the snapshot version that served it. Bit-identical to
+  /// ActorServable::decide on the same state and version. Throws
+  /// std::runtime_error once the server is stopped. Safe from any number
+  /// of threads.
+  std::uint64_t decide(const std::vector<double>& state,
+                       std::vector<double>& weights_out);
+
+  /// Drains admitted requests, then rejects waiters and joins the worker.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Completed decisions.
+  std::uint64_t served() const;
+  /// Requests rejected because the server stopped before admitting them.
+  /// Admitted requests are never dropped — stop() drains them — so this
+  /// stays 0 unless stop() races an admission wait.
+  std::uint64_t dropped() const;
+
+  const TelemetryRing& telemetry() const { return telemetry_; }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct RequestSlot {
+    const std::vector<double>* state = nullptr;
+    std::vector<double>* out = nullptr;
+    std::uint64_t enqueue_ns = 0;
+    std::uint64_t version = 0;
+    bool done = false;
+  };
+
+  void worker_loop();
+  void run_pass(std::size_t take, std::uint32_t depth);
+
+  const ActorServable& servable_;
+  AdmissionConfig config_;
+  TelemetryRing telemetry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable slot_free_;
+  std::condition_variable work_ready_;
+  std::condition_variable result_ready_;
+
+  std::vector<RequestSlot> slots_;
+  std::vector<std::size_t> free_;     // stack of free slot indices
+  std::vector<std::size_t> pending_;  // FIFO ring of admitted slot indices
+  std::size_t pending_head_ = 0;
+  std::size_t pending_count_ = 0;
+
+  bool stop_requested_ = false;
+  bool last_pass_full_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  // Worker-only pass scratch (touched outside the lock; preallocated).
+  std::vector<std::size_t> batch_idx_;
+  nn::Tensor batch_in_;
+  nn::Tensor batch_out_;
+  DecisionScratch scratch_;
+  nn::Workspace batch_ws_;
+
+  std::thread worker_;
+};
+
+}  // namespace miras::serve

@@ -2,33 +2,12 @@
 
 #include <gtest/gtest.h>
 
-#include <iomanip>
 #include <sstream>
 
 #include "common/rng.h"
 
 namespace miras::nn {
 namespace {
-
-// Emits the legacy text encoding (the format save_network wrote before the
-// binary container); kept here to prove the deprecated load path still
-// accepts it for one more release.
-std::string legacy_text_encoding(const Network& net) {
-  std::ostringstream out;
-  out << "miras-network-v1\n" << net.num_layers() << "\n";
-  out << std::setprecision(17);
-  for (const DenseLayer& layer : net.layers()) {
-    out << layer.weights().rows() << " " << layer.weights().cols() << " "
-        << activation_name(layer.activation()) << "\n";
-    for (std::size_t i = 0; i < layer.weights().size(); ++i)
-      out << layer.weights().data()[i] << " ";
-    out << "\n";
-    for (std::size_t i = 0; i < layer.bias().size(); ++i)
-      out << layer.bias().data()[i] << " ";
-    out << "\n";
-  }
-  return out.str();
-}
 
 Network make_network() {
   Rng rng(1);
@@ -112,21 +91,10 @@ TEST(Serialize, SavedFormatIsTheBinaryContainer) {
   EXPECT_EQ(bytes.substr(0, 8), "MIRASNET");
 }
 
-TEST(Serialize, LoadsDeprecatedTextFormat) {
-  // Models saved by the previous release keep loading (with a deprecation
-  // warning) so users can re-save to migrate.
-  const Network original = make_network();
-  std::stringstream stream(legacy_text_encoding(original));
-  const Network loaded = load_network(stream);
-  EXPECT_EQ(loaded.num_layers(), original.num_layers());
-  const std::vector<double> x{0.1, -0.7, 2.5, 0.0};
-  EXPECT_EQ(loaded.predict_one(x), original.predict_one(x));
-}
-
-TEST(Serialize, TextFormatRejectsTrailingGarbage) {
-  // The legacy reader used to silently ignore trailing content; that is
-  // now an error.
-  std::stringstream stream(legacy_text_encoding(make_network()) + " 42");
+TEST(Serialize, RejectsRemovedTextFormat) {
+  // The pre-persist text format was deprecated when the binary container
+  // landed and is now removed: loading it is a clean error, not a parse.
+  std::stringstream stream("miras-network-v1\n1\n4 3 relu\n");
   EXPECT_THROW(load_network(stream), std::runtime_error);
 }
 

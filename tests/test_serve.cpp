@@ -1,0 +1,350 @@
+// The serving path end to end: snapshot/agent decision parity, batched
+// admission parity under concurrency, the hot-swap zero-drop / zero-tear
+// property, and checkpoint round trips.
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/miras_agent.h"
+#include "persist/checkpoint.h"
+#include "rl/ddpg.h"
+#include "serve/admission.h"
+#include "serve/servable.h"
+#include "sim/system.h"
+#include "workflows/msd.h"
+
+namespace miras::serve {
+namespace {
+
+constexpr std::size_t kStateDim = 8;
+constexpr std::size_t kActionDim = 8;
+constexpr int kBudget = 30;
+
+rl::DdpgConfig tiny_ddpg_config() {
+  rl::DdpgConfig config;
+  config.actor_hidden = {24, 24};
+  config.critic_hidden = {24, 24};
+  config.seed = 33;
+  return config;
+}
+
+/// Agent with a non-trivial resolved normaliser (statistics observed).
+rl::DdpgAgent make_seeded_agent() {
+  rl::DdpgAgent agent(kStateDim, kActionDim, kBudget, tiny_ddpg_config());
+  Rng rng(99);
+  std::vector<double> state(kStateDim);
+  for (int i = 0; i < 40; ++i) {
+    for (double& s : state) s = rng.uniform(0.0, 200.0);
+    agent.observe_state_only(state);
+  }
+  return agent;
+}
+
+std::vector<std::vector<double>> make_states(std::size_t count,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> states(count);
+  for (auto& s : states) {
+    s.resize(kStateDim);
+    for (double& v : s) v = rng.uniform(0.0, 500.0);
+  }
+  return states;
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "miras_serve_" + name;
+}
+
+TEST(Servable, SnapshotDecisionsMatchAgentGreedyPathBitwise) {
+  const rl::DdpgAgent agent = make_seeded_agent();  // const: no casts needed
+  const ActorSnapshot snap = ActorSnapshot::from_agent(agent);
+  DecisionScratch scratch;
+  std::vector<double> weights;
+  for (const auto& state : make_states(25, 7)) {
+    snap.decide(state, scratch, weights);
+    const std::vector<double> expected = agent.act_greedy(state);
+    ASSERT_EQ(weights.size(), expected.size());
+    for (std::size_t j = 0; j < weights.size(); ++j)
+      EXPECT_EQ(weights[j], expected[j]);
+    EXPECT_EQ(snap.decide_allocation(state, scratch),
+              agent.act_allocation_greedy(state));
+  }
+}
+
+TEST(Servable, PublishSwapsVersionAndOldPinsSurvive) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  EXPECT_EQ(servable.version(), 1u);
+  const auto pinned = servable.acquire();
+
+  ActorSnapshot next = ActorSnapshot::from_agent(agent);
+  Rng rng(5);
+  next.policy.perturb_parameters(0.05, rng);
+  EXPECT_EQ(servable.publish(std::move(next)), 2u);
+  EXPECT_EQ(servable.version(), 2u);
+
+  // The old pin still answers with the old weights; a fresh acquire sees
+  // the new version.
+  DecisionScratch scratch;
+  std::vector<double> old_w, new_w;
+  const auto state = make_states(1, 3)[0];
+  pinned->decide(state, scratch, old_w);
+  EXPECT_EQ(pinned->version, 1u);
+  const auto fresh = servable.acquire();
+  EXPECT_EQ(fresh->version, 2u);
+  fresh->decide(state, scratch, new_w);
+  EXPECT_NE(old_w, new_w);  // perturbation actually changed the policy
+}
+
+TEST(Servable, PublishRejectsMismatchedDimensions) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  rl::DdpgAgent other(kStateDim + 1, kActionDim, kBudget, tiny_ddpg_config());
+  EXPECT_THROW(servable.publish(ActorSnapshot::from_agent(other)),
+               std::logic_error);
+}
+
+TEST(BatchServer, BatchedResultsMatchDirectDecisionsBitwise) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  AdmissionConfig config;
+  config.max_batch = 8;
+  BatchServer server(servable, config);
+
+  const auto states = make_states(64, 11);
+  // Direct (unbatched) reference answers.
+  std::vector<std::vector<double>> expected(states.size());
+  {
+    DecisionScratch scratch;
+    for (std::size_t i = 0; i < states.size(); ++i)
+      servable.decide(states[i], scratch, expected[i]);
+  }
+
+  constexpr std::size_t kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<bool> mismatch{false};
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> weights;
+      for (std::size_t i = c; i < states.size(); i += kClients) {
+        const std::uint64_t version = server.decide(states[i], weights);
+        if (version != 1 || weights != expected[i]) mismatch = true;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(server.served(), states.size());
+  EXPECT_EQ(server.dropped(), 0u);
+
+  // Telemetry recorded one pass per batch, some of them actually batched.
+  std::vector<TelemetryRecord> records;
+  ASSERT_GT(server.telemetry().snapshot(records), 0u);
+  std::uint64_t covered = 0;
+  bool any_batched = false;
+  for (const auto& rec : records) {
+    EXPECT_GE(rec.batch_size, 1u);
+    EXPECT_LE(rec.batch_size, config.max_batch);
+    EXPECT_GE(rec.queue_depth, rec.batch_size);
+    EXPECT_EQ(rec.snapshot_version, 1u);
+    covered += rec.batch_size;
+    any_batched |= rec.batch_size > 1;
+  }
+  EXPECT_EQ(covered, states.size());
+  EXPECT_TRUE(any_batched) << "8 concurrent clients never coalesced";
+}
+
+TEST(BatchServer, SingleClientTakesTheGemvFastPath) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  BatchServer server(servable, AdmissionConfig{});
+  std::vector<double> weights;
+  const auto states = make_states(10, 13);
+  DecisionScratch scratch;
+  std::vector<double> expected;
+  for (const auto& state : states) {
+    server.decide(state, weights);
+    servable.decide(state, scratch, expected);
+    EXPECT_EQ(weights, expected);
+  }
+  server.stop();
+  std::vector<TelemetryRecord> records;
+  ASSERT_EQ(server.telemetry().snapshot(records), states.size());
+  for (const auto& rec : records) EXPECT_EQ(rec.batch_size, 1u);
+}
+
+// The hot-swap property: with a publisher swapping snapshots under load,
+// every request is (a) answered — served == submitted, dropped == 0 — and
+// (b) answered entirely by the single version it reports: the returned
+// weights bit-match that version's precomputed answer, never a blend.
+TEST(BatchServer, HotSwapDropsNothingAndNeverTearsABatch) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  constexpr std::size_t kVersions = 50;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRequestsPerClient = 200;
+
+  // Precompute every version's snapshot and its answers on a fixed state
+  // pool, BEFORE any serving starts.
+  const auto states = make_states(16, 17);
+  std::vector<ActorSnapshot> snapshots;
+  Rng rng(23);
+  for (std::size_t v = 0; v < kVersions; ++v) {
+    ActorSnapshot snap = ActorSnapshot::from_agent(agent);
+    snap.policy.perturb_parameters(0.02 * static_cast<double>(v), rng);
+    snapshots.push_back(std::move(snap));
+  }
+  // expected[v][s]: version (v+1)'s exact answer for state s.
+  std::vector<std::vector<std::vector<double>>> expected(kVersions);
+  {
+    DecisionScratch scratch;
+    for (std::size_t v = 0; v < kVersions; ++v) {
+      expected[v].resize(states.size());
+      for (std::size_t s = 0; s < states.size(); ++s)
+        snapshots[v].decide(states[s], scratch, expected[v][s]);
+    }
+  }
+
+  ActorServable servable(snapshots[0]);
+  AdmissionConfig config;
+  config.max_batch = 8;
+  config.queue_capacity = 16;
+  BatchServer server(servable, config);
+
+  std::atomic<bool> stop_publishing{false};
+  std::thread publisher([&] {
+    std::size_t v = 1;
+    while (!stop_publishing.load(std::memory_order_relaxed)) {
+      servable.publish(snapshots[v % kVersions]);
+      v = v % kVersions + 1;
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<std::uint64_t> bad{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> weights;
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const std::size_t s = (c * kRequestsPerClient + i) % states.size();
+        const std::uint64_t version = server.decide(states[s], weights);
+        // publish() assigns versions 1.. cycling through the snapshot pool.
+        const auto& want = expected[(version - 1) % kVersions][s];
+        if (weights != want) ++bad;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_publishing = true;
+  publisher.join();
+  server.stop();
+
+  EXPECT_EQ(bad.load(), 0u) << "a decision did not match its reported version";
+  EXPECT_EQ(server.served(), kClients * kRequestsPerClient);
+  EXPECT_EQ(server.dropped(), 0u);
+  EXPECT_GT(servable.version(), 1u) << "no swap ever happened";
+
+  // Telemetry must never show a pass on version 0 (unpublished).
+  std::vector<TelemetryRecord> records;
+  server.telemetry().snapshot(records);
+  for (const auto& rec : records) EXPECT_GE(rec.snapshot_version, 1u);
+}
+
+TEST(BatchServer, StopDrainsAdmittedRequestsThenRejectsNewOnes) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  BatchServer server(servable, AdmissionConfig{});
+  std::vector<double> weights;
+  const auto states = make_states(4, 19);
+  for (const auto& state : states) server.decide(state, weights);
+  server.stop();
+  EXPECT_EQ(server.served(), states.size());
+  EXPECT_THROW(server.decide(states[0], weights), std::runtime_error);
+  EXPECT_EQ(server.dropped(), 1u);
+  server.stop();  // idempotent
+}
+
+TEST(ServeCheckpoint, StandaloneServableRoundTripsBitwise) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  const ActorSnapshot snap = ActorSnapshot::from_agent(agent);
+  const std::string path = temp_path("standalone.servable");
+  save_servable(snap, path);
+  const ActorSnapshot loaded = load_servable(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.version, 0u);
+  EXPECT_EQ(loaded.consumer_budget, snap.consumer_budget);
+  EXPECT_EQ(loaded.min_consumers_per_type, snap.min_consumers_per_type);
+  EXPECT_EQ(loaded.rounding, snap.rounding);
+  DecisionScratch scratch;
+  std::vector<double> got, want;
+  for (const auto& state : make_states(10, 29)) {
+    loaded.decide(state, scratch, got);
+    snap.decide(state, scratch, want);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(loaded.decide_allocation(state, scratch),
+              agent.act_allocation_greedy(state));
+  }
+}
+
+TEST(ServeCheckpoint, LoadsServableSectionFromFullTrainingCheckpoint) {
+  auto ensemble = workflows::make_msd_ensemble();
+  sim::SystemConfig sys_config;
+  sys_config.consumer_budget = workflows::kMsdConsumerBudget;
+  sys_config.seed = 21;
+  sim::MicroserviceSystem system(ensemble, sys_config);
+
+  core::MirasConfig config;
+  config.ddpg.actor_hidden = {16, 16};
+  config.ddpg.critic_hidden = {16, 16};
+  config.seed = 5;
+  core::MirasAgent miras(&system, config);
+  // Give the normaliser real statistics so the parity below is non-trivial.
+  Rng rng(41);
+  std::vector<double> state(miras.ddpg().state_dim());
+  for (int i = 0; i < 30; ++i) {
+    for (double& s : state) s = rng.uniform(0.0, 300.0);
+    miras.ddpg().observe_state_only(state);
+  }
+
+  const std::string path = temp_path("training.ckpt");
+  miras.save_checkpoint(path);
+  const ActorSnapshot loaded = load_servable(path);
+  std::remove(path.c_str());
+
+  const core::MirasAgent& frozen = miras;  // serving needs only const access
+  DecisionScratch scratch;
+  std::vector<double> got;
+  std::vector<double> probe(frozen.ddpg().state_dim());
+  Rng probe_rng(43);
+  for (int i = 0; i < 10; ++i) {
+    for (double& s : probe) s = probe_rng.uniform(0.0, 800.0);
+    loaded.decide(probe, scratch, got);
+    const std::vector<double> want = frozen.ddpg().act_greedy(probe);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < got.size(); ++j) EXPECT_EQ(got[j], want[j]);
+    EXPECT_EQ(loaded.decide_allocation(probe, scratch),
+              frozen.ddpg().act_allocation_greedy(probe));
+  }
+}
+
+TEST(ServeCheckpoint, MissingServableSectionFailsLoudly) {
+  // A valid container without the section must not be misread.
+  persist::CheckpointWriter writer;
+  persist::BinaryWriter payload;
+  payload.u64(7);
+  writer.add_section("unrelated", std::move(payload));
+  const std::string path = temp_path("no_servable.ckpt");
+  writer.write_file(path);
+  EXPECT_THROW(load_servable(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace miras::serve
