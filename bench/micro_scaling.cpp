@@ -30,6 +30,10 @@
 #include <thread>
 #include <vector>
 
+// Timing loop is ours; we only want the reference-comparison helpers.
+#define MIRAS_BENCH_JSON_NO_GBENCH
+#define MIRAS_BENCH_JSON_NO_ALLOC_HOOKS
+#include "bench_json.h"
 #include "common/object_pool.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -213,22 +217,46 @@ bool write_scaling_json(const std::string& path,
   return out.good();
 }
 
+// Current run vs a checked-in reference, speedup against speedup. The
+// checked-in BENCH_scaling.json was recorded on a 1-CPU container where
+// every speedup pins near 1.0, so the marker matters here more than
+// anywhere: without it a healthy multi-core run looks like a regression
+// hunt against nonsense ratios.
+void print_reference_comparison(const bench::RefBench& ref,
+                                const std::vector<ScalingRecord>& records) {
+  if (!ref.loaded) return;
+  std::printf("\nvs checked-in reference:\n");
+  for (const ScalingRecord& r : records) {
+    const auto it = ref.ops.find(r.op);
+    if (it == ref.ops.end()) continue;
+    const auto speedup = it->second.find("speedup");
+    if (speedup == it->second.end()) continue;
+    std::printf("  %-24s speedup %.2fx vs ref %.2fx%s\n", r.op.c_str(),
+                r.speedup, speedup->second,
+                bench::one_cpu_marker(it->second));
+  }
+}
+
 int scaling_main(int argc, char** argv) {
   std::string json_path;
+  bench::RefBench reference;
   double budget_ms = 150.0;
   int reps = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--ref" && i + 1 < argc) {
+      // Load up front: --ref may name the file --json overwrites below.
+      reference = bench::load_bench_reference(argv[++i]);
     } else if (arg == "--budget-ms" && i + 1 < argc) {
       budget_ms = std::stod(argv[++i]);
     } else if (arg == "--reps" && i + 1 < argc) {
       reps = std::stoi(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: micro_scaling [--json path] [--budget-ms n] "
-                   "[--reps n]\n");
+                   "usage: micro_scaling [--json path] [--ref path] "
+                   "[--budget-ms n] [--reps n]\n");
       return 2;
     }
   }
@@ -275,6 +303,8 @@ int scaling_main(int argc, char** argv) {
       records.push_back(std::move(r));
     }
   }
+
+  print_reference_comparison(reference, records);
 
   if (!json_path.empty() && !write_scaling_json(json_path, records, cpus)) {
     std::fprintf(stderr, "failed to write scaling json to %s\n",

@@ -1,6 +1,6 @@
 // Serving-path microbenchmark: decisions/sec and tail latency across
-// client counts x admission batch sizes, plus a hot-swap arm that proves
-// weight publication drops nothing under load.
+// client counts x admission batch sizes x worker lanes, plus a hot-swap
+// arm that proves weight publication drops nothing under load.
 //
 // Arms (one JSON record each, with --json <path>):
 //   SERVE_direct_gemv/clients:{1,8}          every client calls
@@ -10,21 +10,31 @@
 //       BatchServer; max_batch:1 serialises every request into its own
 //       pass (the no-coalescing baseline), larger values let the worker
 //       batch whatever is queued into one GEMM.
-//   SERVE_hotswap/clients:8/max_batch:8      as above, with a publisher
-//       republishing a perturbed snapshot every ~2 ms; reports swaps and
-//       dropped (the latter must be 0).
+//   SERVE_lanes/clients:16/max_batch:8/lanes:{1,2,4,8}   the lane sweep:
+//       the same admission path sharded across N worker lanes (N GEMM
+//       streams off one snapshot). Decisions/sec should scale with lanes
+//       up to core count; on a 1-CPU box the curve is flat by physics and
+//       the `cpus` field says so.
+//   SERVE_hotswap/clients:8/max_batch:8/lanes:4   as admission, with a
+//       publisher republishing a perturbed snapshot every ~2 ms; reports
+//       swaps and dropped (the latter must be 0), and asserts that within
+//       every lane's drained telemetry stream the serving version is
+//       monotone nondecreasing (a lane may only move forward).
 //
 // Fields: decisions_per_sec, p50_ns, p99_ns (per-request completion
 // latency), bytes_per_op (heap bytes allocated per decision over the
 // steady-state measurement window — this TU replaces the global allocator
-// to count them; 0 is the contract for the direct and admission arms),
-// served, swaps, dropped, clients, max_batch, cpus, native.
+// to count them; 0 is the contract for the direct, admission, and lane
+// arms), served, swaps, dropped, clients, max_batch, lanes, cpus, native.
 //
 // Like micro_scaling, this harness owns its timing loop (throughput and
 // percentiles are cross-thread quantities) and links no google-benchmark.
 // The `cpus` field is load-bearing: on a 1-core box the batched-vs-serial
-// ratio collapses toward 1 and the artifact must say so. CI floors run on
-// multi-core runners (.github/workflows/ci.yml).
+// ratio collapses toward 1 and the lane sweep cannot scale, and the
+// artifact must say so. CI floors run on multi-core runners
+// (.github/workflows/ci.yml). `--ref <path>` prints decisions/sec against
+// a checked-in reference, with the [1-cpu-reference] marker when that
+// reference was recorded on a 1-CPU container.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -37,6 +47,11 @@
 #include <thread>
 #include <vector>
 
+// This TU installs its own byte-counting allocator and owns its timing
+// loop; bench_json.h contributes only the reference-comparison helpers.
+#define MIRAS_BENCH_JSON_NO_ALLOC_HOOKS
+#define MIRAS_BENCH_JSON_NO_GBENCH
+#include "bench_json.h"
 #include "common/rng.h"
 #include "nn/kernels.h"
 #include "rl/ddpg.h"
@@ -117,6 +132,7 @@ struct ArmResult {
   std::string op;
   std::size_t clients = 0;
   std::size_t max_batch = 0;  // 0 = no admission queue (direct arm)
+  std::size_t lanes = 0;      // 0 = no admission queue (direct arm)
   double decisions_per_sec = 0.0;
   double p50_ns = 0.0;
   double p99_ns = 0.0;
@@ -124,18 +140,37 @@ struct ArmResult {
   std::uint64_t served = 0;
   std::uint64_t swaps = 0;
   std::uint64_t dropped = 0;
-  /// Mean rows per admission pass over the telemetry window (0 = direct
-  /// arm, no admission queue). The batched/serial throughput ratio is only
-  /// meaningful when this actually approaches max_batch.
+  /// Mean rows per admission pass over the merged telemetry window (0 =
+  /// direct arm, no admission queue). The batched/serial throughput ratio
+  /// is only meaningful when this actually approaches max_batch.
   double mean_batch = 0.0;
+  /// Per-lane serving-version order violations in the drained telemetry
+  /// (must be 0: versions may only increase within a lane's stream).
+  std::uint64_t version_order_violations = 0;
 };
 
-double mean_batch_from(const TelemetryRing& ring) {
+double mean_batch_from(const BatchServer& server) {
   std::vector<TelemetryRecord> records;
-  if (ring.snapshot(records) == 0) return 0.0;
+  if (server.telemetry_snapshot(records) == 0) return 0.0;
   double rows = 0.0;
   for (const TelemetryRecord& rec : records) rows += rec.batch_size;
   return rows / static_cast<double>(records.size());
+}
+
+/// The per-lane serving-version monotonicity contract: a lane re-pins the
+/// snapshot only forward, so within one lane's drained record stream the
+/// version may never decrease. Returns the number of violations (0 is the
+/// contract; counted into the arm's failure path like dropped requests).
+std::uint64_t version_monotonicity_violations(const BatchServer& server) {
+  std::vector<TelemetryRecord> records;
+  std::uint64_t violations = 0;
+  for (std::size_t l = 0; l < server.lane_count(); ++l) {
+    server.telemetry(l).snapshot(records);
+    for (std::size_t i = 1; i < records.size(); ++i)
+      if (records[i].snapshot_version < records[i - 1].snapshot_version)
+        ++violations;
+  }
+  return violations;
 }
 
 double percentile(std::vector<std::uint64_t>& lat, double q) {
@@ -252,14 +287,43 @@ ArmResult run_admission(const ActorServable& servable, std::size_t clients,
       });
   server.stop();
   r.max_batch = max_batch;
+  r.lanes = 1;
   r.dropped = server.dropped();
-  r.mean_batch = mean_batch_from(server.telemetry());
+  r.mean_batch = mean_batch_from(server);
+  return r;
+}
+
+/// The lane sweep: same admission path, N worker lanes off one snapshot.
+ArmResult run_lanes(const ActorServable& servable, std::size_t clients,
+                    std::size_t max_batch, std::size_t lanes,
+                    double warmup_ms, double measure_ms) {
+  AdmissionConfig config;
+  config.max_batch = max_batch;
+  config.lanes = lanes;
+  BatchServer server(servable, config);
+  std::vector<std::vector<double>> out(clients);
+  const auto warm = make_states(1);
+  for (std::size_t c = 0; c < clients; ++c) server.decide(warm[0], out[c]);
+  ArmResult r = run_clients(
+      "SERVE_lanes/clients:" + std::to_string(clients) +
+          "/max_batch:" + std::to_string(max_batch) +
+          "/lanes:" + std::to_string(lanes),
+      clients, warmup_ms, measure_ms,
+      [&](std::size_t c, const std::vector<double>& s) {
+        server.decide(s, out[c]);
+      });
+  server.stop();
+  r.max_batch = max_batch;
+  r.lanes = lanes;
+  r.dropped = server.dropped();
+  r.version_order_violations = version_monotonicity_violations(server);
+  r.mean_batch = mean_batch_from(server);
   return r;
 }
 
 ArmResult run_hotswap(ActorServable& servable, std::size_t clients,
-                      std::size_t max_batch, double warmup_ms,
-                      double measure_ms) {
+                      std::size_t max_batch, std::size_t lanes,
+                      double warmup_ms, double measure_ms) {
   // Precompute a pool of perturbed snapshots; the publisher republishes
   // from the pool every ~2 ms while the clients hammer the server.
   std::vector<ActorSnapshot> pool;
@@ -271,6 +335,7 @@ ArmResult run_hotswap(ActorServable& servable, std::size_t clients,
   }
   AdmissionConfig config;
   config.max_batch = max_batch;
+  config.lanes = lanes;
   BatchServer server(servable, config);
   std::vector<std::vector<double>> out(clients);
   const auto warm = make_states(1);
@@ -290,7 +355,8 @@ ArmResult run_hotswap(ActorServable& servable, std::size_t clients,
 
   ArmResult r = run_clients(
       "SERVE_hotswap/clients:" + std::to_string(clients) +
-          "/max_batch:" + std::to_string(max_batch),
+          "/max_batch:" + std::to_string(max_batch) +
+          "/lanes:" + std::to_string(lanes),
       clients, warmup_ms, measure_ms,
       [&](std::size_t c, const std::vector<double>& s) {
         server.decide(s, out[c]);
@@ -299,9 +365,13 @@ ArmResult run_hotswap(ActorServable& servable, std::size_t clients,
   publisher.join();
   server.stop();
   r.max_batch = max_batch;
+  r.lanes = lanes;
   r.swaps = swaps.load();
   r.dropped = server.dropped();
-  r.mean_batch = mean_batch_from(server.telemetry());
+  // With swaps landing mid-stream the per-lane version order is the
+  // contract worth asserting here (not just zero drops).
+  r.version_order_violations = version_monotonicity_violations(server);
+  r.mean_batch = mean_batch_from(server);
   return r;
 }
 
@@ -313,7 +383,7 @@ bool write_serve_json(const std::string& path,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const ArmResult& r = records[i];
     out << "  {\"op\": \"" << r.op << "\", \"clients\": " << r.clients
-        << ", \"max_batch\": " << r.max_batch
+        << ", \"max_batch\": " << r.max_batch << ", \"lanes\": " << r.lanes
         << ", \"decisions_per_sec\": " << r.decisions_per_sec
         << ", \"p50_ns\": " << r.p50_ns << ", \"p99_ns\": " << r.p99_ns
         << ", \"bytes_per_op\": " << r.bytes_per_op
@@ -327,22 +397,43 @@ bool write_serve_json(const std::string& path,
   return out.good();
 }
 
+void print_reference_comparison(const bench::RefBench& ref,
+                                const std::vector<ArmResult>& records) {
+  if (!ref.loaded) return;
+  std::printf("\nvs checked-in reference:\n");
+  for (const ArmResult& r : records) {
+    const auto it = ref.ops.find(r.op);
+    if (it == ref.ops.end()) continue;
+    const auto dps = it->second.find("decisions_per_sec");
+    if (dps == it->second.end() || dps->second <= 0.0) continue;
+    std::printf("  %-52s %10.0f dec/s vs ref %10.0f dec/s (%.2fx)%s\n",
+                r.op.c_str(), r.decisions_per_sec, dps->second,
+                r.decisions_per_sec / dps->second,
+                bench::one_cpu_marker(it->second));
+  }
+}
+
 int serve_main(int argc, char** argv) {
   std::string json_path;
+  bench::RefBench reference;
   double measure_ms = 300.0;
   double warmup_ms = 50.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--ref" && i + 1 < argc) {
+      // Loaded before any arm runs (and before --json writes), so --ref
+      // may name the same checked-in file --json later overwrites.
+      reference = bench::load_bench_reference(argv[++i]);
     } else if (arg == "--measure-ms" && i + 1 < argc) {
       measure_ms = std::stod(argv[++i]);
     } else if (arg == "--warmup-ms" && i + 1 < argc) {
       warmup_ms = std::stod(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: micro_serve [--json path] [--measure-ms n] "
-                   "[--warmup-ms n]\n");
+                   "usage: micro_serve [--json path] [--ref path] "
+                   "[--measure-ms n] [--warmup-ms n]\n");
       return 2;
     }
   }
@@ -356,12 +447,16 @@ int serve_main(int argc, char** argv) {
   records.push_back(run_direct(servable, 8, warmup_ms, measure_ms));
   for (const std::size_t mb : {std::size_t{1}, std::size_t{8}, std::size_t{16}})
     records.push_back(run_admission(servable, 8, mb, warmup_ms, measure_ms));
-  records.push_back(run_hotswap(servable, 8, 8, warmup_ms, measure_ms));
+  for (const std::size_t lanes :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}})
+    records.push_back(run_lanes(servable, 16, 8, lanes, warmup_ms,
+                                measure_ms));
+  records.push_back(run_hotswap(servable, 8, 8, 4, warmup_ms, measure_ms));
 
   bool ok = true;
   for (const ArmResult& r : records) {
     std::printf(
-        "%-42s %10.0f dec/s   p50 %8.0f ns   p99 %9.0f ns   %6.1f B/op   "
+        "%-52s %10.0f dec/s   p50 %8.0f ns   p99 %9.0f ns   %6.1f B/op   "
         "batch %4.1f   swaps %llu dropped %llu\n",
         r.op.c_str(), r.decisions_per_sec, r.p50_ns, r.p99_ns, r.bytes_per_op,
         r.mean_batch, static_cast<unsigned long long>(r.swaps),
@@ -371,7 +466,16 @@ int serve_main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.dropped));
       ok = false;
     }
+    if (r.version_order_violations != 0) {
+      std::fprintf(stderr,
+                   "FAIL %s: %llu per-lane serving-version order violations\n",
+                   r.op.c_str(),
+                   static_cast<unsigned long long>(r.version_order_violations));
+      ok = false;
+    }
   }
+
+  print_reference_comparison(reference, records);
 
   if (!json_path.empty() && !write_serve_json(json_path, records, cpus)) {
     std::fprintf(stderr, "failed to write serve json to %s\n",

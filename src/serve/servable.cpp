@@ -96,6 +96,12 @@ std::shared_ptr<const ActorSnapshot> ActorServable::acquire() const {
   return current_;
 }
 
+void ActorServable::refresh(std::shared_ptr<const ActorSnapshot>& pin) const {
+  const std::uint64_t published = version_.load(std::memory_order_acquire);
+  if (pin && pin->version == published) return;
+  pin = acquire();
+}
+
 std::uint64_t ActorServable::decide(const std::vector<double>& state,
                                     DecisionScratch& scratch,
                                     std::vector<double>& weights_out) const {

@@ -15,8 +15,10 @@
 //     the last pin drops.
 //
 // The publication point is a mutex-guarded shared_ptr rather than
-// std::atomic<std::shared_ptr>: acquire() runs once per *batch* (not per
-// request), so an uncontended lock is noise next to the forward pass, and
+// std::atomic<std::shared_ptr>: acquire() runs at most once per *batch*
+// (not per request) — and with refresh(), multi-lane serving skips even
+// that unless a publish actually landed — so an uncontended lock is noise
+// next to the forward pass, and
 // libstdc++'s lock-free _Sp_atomic trips TSan (its _M_ptr is a plain
 // member behind a lock-bit protocol the tool cannot model) — the CI TSan
 // job runs these suites.
@@ -114,6 +116,19 @@ class ActorServable {
   /// Pins the current snapshot. The returned pointer (and everything it
   /// references) stays valid and immutable for as long as it is held.
   std::shared_ptr<const ActorSnapshot> acquire() const;
+
+  /// Re-pins `pin` to the current snapshot only if publication moved (or
+  /// `pin` is empty); otherwise leaves it untouched WITHOUT taking the
+  /// swap mutex. This is the per-pass entry point for multi-lane serving:
+  /// N lane workers each refresh a cached pin once per pass, so at steady
+  /// state (no swap in flight) the shared mutex sees zero acquires per
+  /// pass instead of N. The version probe is a relaxed-cost atomic load;
+  /// during a publish the probe may run ahead of the pointer swap, in
+  /// which case the refresh lands on the outgoing snapshot and the NEXT
+  /// refresh picks up the new one — under a single publisher (the
+  /// documented write pattern) the pinned version is therefore monotone
+  /// nondecreasing across successive refreshes of the same pin.
+  void refresh(std::shared_ptr<const ActorSnapshot>& pin) const;
 
   /// Convenience single-shot decision through the current snapshot.
   /// Returns the version that served the request.

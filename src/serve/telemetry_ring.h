@@ -3,7 +3,9 @@
 // One POD record per admission pass (batched GEMM or single-request GEMV):
 // completion timestamp, decision latency of the oldest request in the pass,
 // snapshot version, queue depth at admission, batch size. The ring is
-// single-writer (the BatchServer worker) and wait-free on the write side:
+// single-writer (one BatchServer lane's worker — each lane owns its own
+// ring; merge_snapshots() below interleaves several rings by timestamp
+// into one timeline) and wait-free on the write side:
 // record() touches a fixed slot array and allocates nothing, so telemetry
 // can stay on in production serving without perturbing latency. Readers
 // drain by snapshot() from any thread, concurrently with the writer.
@@ -25,6 +27,7 @@
 // rather than gap-free; total_recorded() exposes the true count.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -95,6 +98,14 @@ class TelemetryRing {
   /// number of records delivered.
   std::size_t snapshot(std::vector<TelemetryRecord>& out) const {
     out.clear();
+    return snapshot_append(out);
+  }
+
+  /// snapshot() without the clear: appends this ring's surviving window
+  /// (oldest first) after whatever `out` already holds. The building block
+  /// for merged multi-ring drains; returns the records appended.
+  std::size_t snapshot_append(std::vector<TelemetryRecord>& out) const {
+    const std::size_t size_before = out.size();
     const std::uint64_t end = count_.load(std::memory_order_acquire);
     const std::uint64_t window = slots_.size();
     const std::uint64_t begin = end > window ? end - window : 0;
@@ -103,7 +114,7 @@ class TelemetryRing {
       if (try_read(slots_[static_cast<std::size_t>(i) & mask_], rec))
         out.push_back(rec);
     }
-    return out.size();
+    return out.size() - size_before;
   }
 
  private:
@@ -138,5 +149,31 @@ class TelemetryRing {
   std::size_t mask_ = 0;
   std::atomic<std::uint64_t> count_{0};
 };
+
+/// Orders records drained from several rings into one timeline. Stable
+/// sort by completion timestamp: records appended ring by ring keep their
+/// per-ring (write) order on timestamp ties, and within one ring
+/// timestamps are nondecreasing (a single writer stamps them from a
+/// steady clock), so each ring's stream survives the merge intact.
+inline void sort_merged_telemetry(std::vector<TelemetryRecord>& records) {
+  std::stable_sort(records.begin(), records.end(),
+                   [](const TelemetryRecord& a, const TelemetryRecord& b) {
+                     return a.timestamp_ns < b.timestamp_ns;
+                   });
+}
+
+/// Drains `count` rings (each possibly wrapped at a different rate, each
+/// with its own live writer) and merges the surviving windows into `out`
+/// by timestamp, ties broken by ring index. Every returned record is
+/// internally consistent (the per-slot seqlock discards torn reads); like
+/// snapshot(), the window is best-effort under an active writer lap.
+inline std::size_t merge_snapshots(const TelemetryRing* const* rings,
+                                   std::size_t count,
+                                   std::vector<TelemetryRecord>& out) {
+  out.clear();
+  for (std::size_t i = 0; i < count; ++i) rings[i]->snapshot_append(out);
+  sort_merged_telemetry(out);
+  return out.size();
+}
 
 }  // namespace miras::serve

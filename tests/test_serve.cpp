@@ -256,6 +256,203 @@ TEST(BatchServer, HotSwapDropsNothingAndNeverTearsABatch) {
   for (const auto& rec : records) EXPECT_GE(rec.snapshot_version, 1u);
 }
 
+// The lane-count invariance property (the multi-lane analogue of PR 5's
+// thread-count invariance): every decision is a pure function of
+// (snapshot, observation), so with a publisher hot-swapping versions under
+// concurrent load, every response must bit-match the precomputed answer of
+// the version it reports — at EVERY lane count, with zero drops and zero
+// torn batches. Also pins the per-lane telemetry contracts: versions are
+// monotone nondecreasing within a lane's record stream, and the merged
+// snapshot is timestamp-ordered and covers every served request.
+TEST(BatchServer, LaneCountsAreBitIdenticalUnderConcurrentHotSwap) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  constexpr std::size_t kVersions = 40;
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequestsPerClient = 120;
+
+  const auto states = make_states(16, 57);
+  std::vector<ActorSnapshot> snapshots;
+  Rng rng(29);
+  for (std::size_t v = 0; v < kVersions; ++v) {
+    ActorSnapshot snap = ActorSnapshot::from_agent(agent);
+    snap.policy.perturb_parameters(0.02 * static_cast<double>(v), rng);
+    snapshots.push_back(std::move(snap));
+  }
+  // expected[v][s]: version (v+1)'s exact answer for state s, computed
+  // single-threaded before any serving starts.
+  std::vector<std::vector<std::vector<double>>> expected(kVersions);
+  {
+    DecisionScratch scratch;
+    for (std::size_t v = 0; v < kVersions; ++v) {
+      expected[v].resize(states.size());
+      for (std::size_t s = 0; s < states.size(); ++s)
+        snapshots[v].decide(states[s], scratch, expected[v][s]);
+    }
+  }
+
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    ActorServable servable(snapshots[0]);
+    AdmissionConfig config;
+    config.max_batch = 4;
+    config.queue_capacity = 8;
+    config.telemetry_capacity = 4096;  // no lane ring may lap mid-test
+    config.lanes = lanes;
+    BatchServer server(servable, config);
+    ASSERT_EQ(server.lane_count(), lanes);
+
+    std::atomic<bool> stop_publishing{false};
+    std::thread publisher([&] {
+      std::size_t v = 1;
+      while (!stop_publishing.load(std::memory_order_relaxed)) {
+        servable.publish(snapshots[v % kVersions]);
+        v = v % kVersions + 1;
+        std::this_thread::yield();
+      }
+    });
+
+    std::atomic<std::uint64_t> bad{0};
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        std::vector<double> weights;
+        for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+          const std::size_t s = (c * kRequestsPerClient + i) % states.size();
+          const std::uint64_t version = server.decide(states[s], weights);
+          if (weights != expected[(version - 1) % kVersions][s]) ++bad;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    stop_publishing = true;
+    publisher.join();
+    server.stop();
+
+    EXPECT_EQ(bad.load(), 0u)
+        << "lanes=" << lanes << ": a decision did not match its version";
+    EXPECT_EQ(server.served(), kClients * kRequestsPerClient);
+    EXPECT_EQ(server.dropped(), 0u);
+
+    // Per-lane record streams: serving versions may only move forward
+    // within a lane (the lane re-pins monotonically).
+    std::vector<TelemetryRecord> records;
+    std::uint64_t covered = 0;
+    for (std::size_t l = 0; l < server.lane_count(); ++l) {
+      server.telemetry(l).snapshot(records);
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_GE(records[i].snapshot_version, 1u);
+        if (i > 0)
+          EXPECT_GE(records[i].snapshot_version,
+                    records[i - 1].snapshot_version)
+              << "lane " << l << " served a version out of order";
+        covered += records[i].batch_size;
+      }
+    }
+    EXPECT_EQ(covered, server.served());
+
+    // The merged view interleaves lanes by timestamp and loses nothing.
+    std::vector<TelemetryRecord> merged;
+    const std::size_t merged_count = server.telemetry_snapshot(merged);
+    EXPECT_EQ(merged_count, merged.size());
+    std::uint64_t merged_covered = 0;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      if (i > 0)
+        EXPECT_GE(merged[i].timestamp_ns, merged[i - 1].timestamp_ns);
+      merged_covered += merged[i].batch_size;
+    }
+    EXPECT_EQ(merged_covered, server.served());
+  }
+}
+
+TEST(BatchServer, MultiLaneSpreadsConcurrentClientsAcrossLanes) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  AdmissionConfig config;
+  config.lanes = 4;
+  config.max_batch = 4;
+  BatchServer server(servable, config);
+
+  const auto states = make_states(64, 61);
+  std::vector<std::vector<double>> expected(states.size());
+  {
+    DecisionScratch scratch;
+    for (std::size_t i = 0; i < states.size(); ++i)
+      servable.decide(states[i], scratch, expected[i]);
+  }
+
+  constexpr std::size_t kClients = 8;
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> weights;
+      for (std::size_t i = c; i < states.size(); i += kClients) {
+        server.decide(states[i], weights);
+        if (weights != expected[i]) mismatch = true;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.stop();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(server.served(), states.size());
+
+  // The round-robin-seeded power-of-two-choices router must actually use
+  // more than one lane under concurrent load.
+  std::size_t active_lanes = 0;
+  for (std::size_t l = 0; l < server.lane_count(); ++l)
+    active_lanes += server.telemetry(l).total_recorded() > 0 ? 1 : 0;
+  EXPECT_GE(active_lanes, 2u) << "all traffic collapsed onto one lane";
+}
+
+TEST(BatchServer, StopIsSafeFromManyThreadsConcurrently) {
+  const rl::DdpgAgent agent = make_seeded_agent();
+  ActorServable servable(ActorSnapshot::from_agent(agent));
+  AdmissionConfig config;
+  config.lanes = 2;
+  config.queue_capacity = 4;
+  BatchServer server(servable, config);
+
+  const auto states = make_states(8, 67);
+  // Clients hammer decide() until the stoppers shut the server down; every
+  // call either completes normally or is rejected with the stop error —
+  // and the books must balance: served + dropped == attempts observed.
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> weights;
+      for (std::size_t i = 0;; ++i) {
+        try {
+          server.decide(states[(c + i) % states.size()], weights);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  // Let some traffic flow, then stop from 4 threads at once. Exactly one
+  // runs the shutdown; the others must block until it completes and then
+  // observe the same final state.
+  while (completed.load(std::memory_order_relaxed) < 32)
+    std::this_thread::yield();
+  std::vector<std::thread> stoppers;
+  for (int s = 0; s < 4; ++s)
+    stoppers.emplace_back([&] { server.stop(); });
+  for (auto& t : stoppers) t.join();
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(server.served(), completed.load());
+  EXPECT_EQ(server.dropped(), rejected.load());
+  // Still idempotent after the concurrent burst, from this thread too.
+  server.stop();
+  server.stop();
+  EXPECT_EQ(server.served(), completed.load());
+}
+
 TEST(BatchServer, StopDrainsAdmittedRequestsThenRejectsNewOnes) {
   const rl::DdpgAgent agent = make_seeded_agent();
   ActorServable servable(ActorSnapshot::from_agent(agent));

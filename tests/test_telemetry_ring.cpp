@@ -5,6 +5,7 @@
 // steady-state test can assert record()/snapshot() allocate nothing.
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <thread>
 #include <vector>
@@ -131,6 +132,110 @@ TEST(TelemetryRing, SnapshotWhileWritingNeverReturnsTornRecords) {
   ring.snapshot(out);
   for (std::size_t i = 1; i < out.size(); ++i)
     EXPECT_LT(out[i - 1].timestamp_ns, out[i].timestamp_ns);
+}
+
+TEST(TelemetryRing, MergedSnapshotInterleavesRingsByTimestamp) {
+  // Lane 0 stamps even "timestamps", lane 1 odd: the merged view must be
+  // the strict interleaving, while snapshot_append preserves per-ring
+  // order. A shared timestamp (tie) keeps ring-index order.
+  TelemetryRing a(8), b(8);
+  for (std::uint64_t i = 0; i < 5; ++i) a.record(derived_record(2 * i));
+  for (std::uint64_t i = 0; i < 5; ++i) b.record(derived_record(2 * i + 1));
+  const TelemetryRing* rings[] = {&a, &b};
+  std::vector<TelemetryRecord> merged;
+  ASSERT_EQ(merge_snapshots(rings, 2, merged), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(merged[i].timestamp_ns, i);
+    EXPECT_TRUE(is_derived(merged[i]));
+  }
+
+  // Tie-break: identical timestamps surface in ring order (stable merge).
+  TelemetryRing c(4), d(4);
+  c.record(derived_record(100));
+  d.record(derived_record(100));
+  const TelemetryRing* tied[] = {&c, &d};
+  ASSERT_EQ(merge_snapshots(tied, 2, merged), 2u);
+  EXPECT_EQ(merged[0].timestamp_ns, 100u);
+  EXPECT_EQ(merged[1].timestamp_ns, 100u);
+}
+
+TEST(TelemetryRing, MergedSnapshotSurvivesPerRingWraparoundAtDifferentRates) {
+  // A busy lane laps its ring several times while a light lane barely
+  // writes: the merged window is the busy ring's newest capacity() records
+  // interleaved with everything the light ring kept, timestamp-ordered.
+  TelemetryRing busy(8), light(8);
+  const std::uint64_t total = 8 * 6 + 5;  // several laps plus a partial one
+  for (std::uint64_t i = 0; i < total; ++i)
+    busy.record(derived_record(2 * i));  // even stamps
+  for (std::uint64_t i = 0; i < 3; ++i)
+    light.record(derived_record(2 * (total - 3 + i) + 1));  // odd, recent
+  const TelemetryRing* rings[] = {&busy, &light};
+  std::vector<TelemetryRecord> merged;
+  ASSERT_EQ(merge_snapshots(rings, 2, merged), 8u + 3u);
+  // All survivors intact and globally timestamp-ordered...
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_TRUE(is_derived(merged[i]));
+    if (i > 0) EXPECT_GE(merged[i].timestamp_ns, merged[i - 1].timestamp_ns);
+  }
+  // ...and the busy ring contributed exactly its newest window.
+  std::uint64_t even_seen = 0, oldest_even = ~0ull;
+  for (const TelemetryRecord& rec : merged) {
+    if (rec.timestamp_ns % 2 == 0) {
+      ++even_seen;
+      oldest_even = std::min(oldest_even, rec.timestamp_ns);
+    }
+  }
+  EXPECT_EQ(even_seen, 8u);
+  EXPECT_EQ(oldest_even, 2 * (total - 8));
+}
+
+TEST(TelemetryRing, MergedSnapshotWithOneWriterPerRingNeverTearsOrReorders) {
+  // The N-lane torn-read property: one live writer per ring (as in the
+  // multi-lane BatchServer), a reader merging all rings concurrently.
+  // Every delivered record must be one some writer actually wrote, in
+  // full, and each ring's subsequence must stay in its write order.
+  constexpr std::size_t kRings = 4;
+  std::vector<std::unique_ptr<TelemetryRing>> rings;  // atomics pin them
+  for (std::size_t r = 0; r < kRings; ++r)
+    rings.push_back(std::make_unique<TelemetryRing>(16));
+  const TelemetryRing* ring_ptrs[kRings];
+  for (std::size_t r = 0; r < kRings; ++r) ring_ptrs[r] = rings[r].get();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::size_t r = 0; r < kRings; ++r) {
+    writers.emplace_back([&, r] {
+      // Stamp = i * kRings + r: unique across rings, strictly increasing
+      // within a ring, and the ring of origin is recoverable mod kRings.
+      for (std::uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i)
+        rings[r]->record(derived_record(i * kRings + r));
+    });
+  }
+  for (std::size_t r = 0; r < kRings; ++r)
+    while (rings[r]->total_recorded() == 0) std::this_thread::yield();
+
+  std::vector<TelemetryRecord> merged;
+  merged.reserve(kRings * 16);
+  std::uint64_t drained = 0;
+  for (int round = 0; round < 1000; ++round) {
+    merge_snapshots(ring_ptrs, kRings, merged);
+    std::uint64_t last_stamp[kRings];
+    bool seen[kRings] = {};
+    for (const TelemetryRecord& rec : merged) {
+      ASSERT_TRUE(is_derived(rec)) << "torn record at i=" << rec.timestamp_ns;
+      const std::size_t r = rec.timestamp_ns % kRings;
+      if (seen[r])
+        ASSERT_GT(rec.timestamp_ns, last_stamp[r])
+            << "ring " << r << " subsequence out of write order";
+      seen[r] = true;
+      last_stamp[r] = rec.timestamp_ns;
+    }
+    drained += merged.size();
+    if ((round & 63) == 0) std::this_thread::yield();
+  }
+  stop = true;
+  for (auto& t : writers) t.join();
+  EXPECT_GT(drained, 0u);
 }
 
 TEST(TelemetryRing, SteadyStateRecordAndSnapshotAllocateNothing) {
